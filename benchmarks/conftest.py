@@ -1,0 +1,6 @@
+"""Make the bench helpers importable and keep pytest-benchmark quiet."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

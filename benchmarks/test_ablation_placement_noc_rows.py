@@ -1,0 +1,103 @@
+"""Extension ablations: prefetch placement, on-chip network, open-row DRAM.
+
+* **Placement** — the paper throttles pollution adaptively; Jouppi's
+  stream buffers avoid it structurally.  Comparing all three on jbb (the
+  pollution victim) separates pollution damage from bandwidth damage.
+* **NoC** — Table 1's 320 GB/s on-chip bandwidth is modeled but off by
+  default; this ablation shows enabling it barely moves results (which
+  is why the default is defensible).
+* **Open rows** — an extension beyond the paper's fixed-latency DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from _common import EVENTS, WARMUP, point
+from repro.core.system import CMPSystem
+from repro.params import MemoryConfig, PrefetchConfig, SystemConfig
+
+
+def _run(workload: str, cfg: SystemConfig) -> float:
+    return CMPSystem(cfg, workload, seed=0).run(EVENTS, warmup_events=WARMUP).runtime
+
+
+def run_placement():
+    out = {}
+    for w in ("jbb", "zeus"):
+        base = point(w, "base").runtime
+        scaled = SystemConfig().scaled(4)
+        cache_pf = point(w, "pref").runtime
+        adaptive = point(w, "adaptive").runtime
+        buffers = _run(
+            w, replace(scaled, prefetch=PrefetchConfig(enabled=True, placement="stream_buffer"))
+        )
+        out[w] = (
+            100.0 * (base / cache_pf - 1.0),
+            100.0 * (base / buffers - 1.0),
+            100.0 * (base / adaptive - 1.0),
+        )
+    return out
+
+
+def test_ablation_prefetch_placement(benchmark):
+    rows = benchmark.pedantic(run_placement, rounds=1, iterations=1)
+    print()
+    print("=== Ablation: prefetch placement (improvement % over base) ===")
+    print(f"{'workload':8s}{'cache':>10s}{'buffers':>10s}{'adaptive':>10s}")
+    for w, (cache, buffers, adaptive) in rows.items():
+        print(f"{w:8s}{cache:+10.1f}{buffers:+10.1f}{adaptive:+10.1f}")
+
+    cache, buffers, adaptive = rows["jbb"]
+    # When pollution actually bites at this sizing (cache placement goes
+    # negative), the pollution-free buffers must beat it.
+    if cache < 0.0:
+        assert buffers > cache
+    # The adaptive throttle wins overall: it keeps the useful coverage
+    # the buffers' 16 entries cannot hold.
+    assert adaptive >= buffers - 3.0
+    assert adaptive >= cache - 3.0
+
+
+def run_noc():
+    out = {}
+    for w in ("zeus", "fma3d"):
+        scaled = SystemConfig().scaled(4)
+        without = _run(w, scaled)
+        with_noc = _run(w, replace(scaled, onchip_bandwidth_gbs=320.0))
+        out[w] = 100.0 * (with_noc / without - 1.0)
+    return out
+
+
+def test_ablation_noc(benchmark):
+    rows = benchmark.pedantic(run_noc, rounds=1, iterations=1)
+    print()
+    print("=== Ablation: on-chip network (runtime delta vs no-NoC model) ===")
+    for w, delta in rows.items():
+        print(f"  {w:8s} {delta:+.1f}%")
+    # Table 1's 320 GB/s is generous: modeling it changes runtimes by a
+    # few percent at most, justifying the off-by-default choice.
+    for w, delta in rows.items():
+        assert abs(delta) < 15.0, (w, delta)
+
+
+def run_rows():
+    out = {}
+    for w in ("mgrid", "oltp"):
+        scaled = SystemConfig().scaled(4)
+        flat = _run(w, scaled)
+        rows_cfg = replace(scaled, memory=MemoryConfig(row_buffer=True, row_hit_latency=250))
+        with_rows = _run(w, rows_cfg)
+        out[w] = 100.0 * (flat / with_rows - 1.0)
+    return out
+
+
+def test_ablation_open_row_dram(benchmark):
+    rows = benchmark.pedantic(run_rows, rounds=1, iterations=1)
+    print()
+    print("=== Ablation: open-row DRAM (improvement over fixed latency) ===")
+    for w, delta in rows.items():
+        print(f"  {w:8s} {delta:+.1f}%")
+    # Strided mgrid exploits open rows more than pointer-chasing oltp.
+    assert rows["mgrid"] > rows["oltp"] - 1.0
+    assert rows["mgrid"] > 0.0

@@ -1,0 +1,120 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not paper figures; they justify implementation decisions by
+measuring what each mechanism contributes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from _common import EVENTS, WARMUP, point, print_header, print_row
+from repro.compression.fpc import compressed_size_bytes
+from repro.core.system import CMPSystem
+from repro.params import PrefetchConfig, SystemConfig
+from repro.workloads.values import VALUE_CLASSES
+
+
+def run_fpc_patterns():
+    """◆ FPC pattern ablation: how much each pattern class contributes.
+
+    Encodes each value-class pool with the full FPC pattern set and with a
+    zeros-only degenerate encoder (every non-zero word stored verbatim),
+    showing that the sign-extension/halfword patterns — not just zero
+    runs — carry the commercial compression ratios.
+    """
+    rng = random.Random(0)
+    rows = {}
+    for name, gen in VALUE_CLASSES.items():
+        full = 0
+        zeros_only = 0
+        n = 40
+        for _ in range(n):
+            words = gen(rng)
+            full += compressed_size_bytes(words)
+            # zeros-only: 3+3 bits per zero-run word, 3+32 per other word
+            bits = sum(6 if w == 0 else 35 for w in words)
+            zeros_only += (bits + 7) // 8
+        rows[name] = (full / n, zeros_only / n)
+    return rows
+
+
+def test_ablation_fpc_patterns(benchmark):
+    rows = benchmark.pedantic(run_fpc_patterns, rounds=1, iterations=1)
+    print_header("Ablation: FPC full pattern set vs zeros-only (bytes/line)",
+                 ["full FPC", "zeros-only"])
+    for name, vals in rows.items():
+        print_row(name, vals)
+    # The integer patterns matter: for integer-rich classes the full
+    # pattern set beats zeros-only substantially.
+    for cls in ("tiny_int", "small_int", "byte_text", "pointer"):
+        full, zeros = rows[cls]
+        assert full < zeros * 0.85, (cls, rows[cls])
+    # For dense floats neither encoder helps (the paper's observation).
+    full, zeros = rows["float_dense"]
+    assert full > 60.0
+
+
+def _adaptive_system(counter_max: int, workload: str = "jbb") -> float:
+    from dataclasses import replace
+
+    cfg = SystemConfig().scaled(4)
+    cfg = replace(
+        cfg,
+        prefetch=PrefetchConfig(enabled=True, adaptive=True, counter_max=counter_max),
+    )
+    return CMPSystem(cfg, workload, seed=0).run(EVENTS, warmup_events=WARMUP).runtime
+
+
+def run_adaptive_counter():
+    """◆ Counter-range ablation on jbb (the pollution-limited workload)."""
+    base = point("jbb", "base").runtime
+    rows = {}
+    for counter_max in (2, 8, 16, 64):
+        rows[counter_max] = 100.0 * (base / _adaptive_system(counter_max) - 1.0)
+    rows["non-adaptive"] = 100.0 * (base / point("jbb", "pref").runtime - 1.0)
+    return rows
+
+
+def test_ablation_adaptive_counter(benchmark):
+    rows = benchmark.pedantic(run_adaptive_counter, rounds=1, iterations=1)
+    print()
+    print("=== Ablation: adaptive counter range (jbb improvement %) ===")
+    for k, v in rows.items():
+        print(f"  counter_max={k}: {v:+.1f}%")
+    # Any adaptive counter beats the non-adaptive prefetcher on jbb.
+    for k, v in rows.items():
+        if k != "non-adaptive":
+            assert v > rows["non-adaptive"], (k, rows)
+
+
+def run_victim_tags():
+    """◆ Victim-tag ablation: disable harmful-prefetch detection by
+    zeroing the L1 victim depth and compare adaptive effectiveness."""
+    from dataclasses import replace
+
+    base = point("jbb", "base").runtime
+    cfg_full = SystemConfig().scaled(4)
+    cfg_full = replace(cfg_full, prefetch=PrefetchConfig(enabled=True, adaptive=True))
+    cfg_novic = replace(
+        cfg_full, prefetch=PrefetchConfig(enabled=True, adaptive=True, l1_victim_tags=0)
+    )
+    with_tags = CMPSystem(cfg_full, "jbb", seed=0).run(EVENTS, warmup_events=WARMUP).runtime
+    without = CMPSystem(cfg_novic, "jbb", seed=0).run(EVENTS, warmup_events=WARMUP).runtime
+    return {
+        "with_victim_tags": 100.0 * (base / with_tags - 1.0),
+        "without_l1_victim_tags": 100.0 * (base / without - 1.0),
+    }
+
+
+def test_ablation_victim_tags(benchmark):
+    rows = benchmark.pedantic(run_victim_tags, rounds=1, iterations=1)
+    print()
+    print("=== Ablation: victim-tag harmful-prefetch detection (jbb) ===")
+    for k, v in rows.items():
+        print(f"  {k}: {v:+.1f}%")
+    # Both configurations must at least beat the non-adaptive prefetcher;
+    # the L2's compression-tag-based detection still works without L1 tags.
+    pref = 100.0 * (point("jbb", "base").runtime / point("jbb", "pref").runtime - 1.0)
+    for v in rows.values():
+        assert v > pref

@@ -1,0 +1,47 @@
+"""Figure 4: pin bandwidth demand (GB/s) under the four compression combos.
+
+Paper (measured on a system with infinite pin bandwidth): commercial
+demand ranges 5.0 (oltp) to 8.8 (apache) GB/s; SPEComp trends higher,
+7.6 (art) to 27.7 (fma3d).  Cache compression trims demand 0-10%; link
+compression trims 34-41% for commercial and up to 23% for SPEComp; the
+combination is slightly better than link compression alone.
+"""
+
+from __future__ import annotations
+
+from _common import ALL, COMMERCIAL, point, print_header, print_row
+
+KEYS = ("base", "cache_compr", "link_compr", "compr")
+
+
+def run_fig4():
+    rows = {}
+    for w in ALL:
+        rows[w] = tuple(
+            point(w, k, infinite_bandwidth=True).bandwidth_gbs for k in KEYS
+        )
+    return rows
+
+
+def test_fig4_bandwidth_demand(benchmark):
+    rows = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    print_header("Figure 4: pin bandwidth demand (GB/s)",
+                 ["none", "cacheC", "linkC", "both"])
+    for w, vals in rows.items():
+        print_row(w, vals)
+
+    for w in ALL:
+        none, cache_c, link_c, both = rows[w]
+        # Link compression never increases demand; cache compression never
+        # increases it either (it can only remove misses).
+        assert link_c <= none * 1.02
+        assert cache_c <= none * 1.05
+        assert both <= link_c * 1.05
+
+    # Link compression is the bigger lever for compressible workloads.
+    for w in COMMERCIAL:
+        none, cache_c, link_c, both = rows[w]
+        reduction = 100.0 * (1 - link_c / none)
+        assert reduction > 20.0, (w, reduction)
+    # fma3d has the highest demand of all workloads (its paper signature).
+    assert rows["fma3d"][0] == max(rows[w][0] for w in ALL)

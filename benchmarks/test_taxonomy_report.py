@@ -1,0 +1,43 @@
+"""Extension analysis: Srinivasan's prefetch taxonomy per workload.
+
+Section 3 motivates the adaptive mechanism with this taxonomy ("only two
+of the nine cases actually eliminate misses").  This bench reports where
+each workload's L2 prefetches land and checks the taxonomy explains the
+Figure 6 winners and losers: jbb's prefetches skew useless/harmful, the
+SPEComp streams skew useful.
+"""
+
+from __future__ import annotations
+
+from _common import ALL, point
+
+
+def run_taxonomy():
+    rows = {}
+    for w in ALL:
+        r = point(w, "pref")
+        c = r.taxonomy["l2"]
+        rows[w] = c
+    return rows
+
+
+def test_taxonomy_report(benchmark):
+    rows = benchmark.pedantic(run_taxonomy, rounds=1, iterations=1)
+    print()
+    print("=== Prefetch taxonomy (L2, fraction of resolved prefetches) ===")
+    print(f"{'workload':10s}{'useful':>9s}{'pollut.':>9s}{'useless':>9s}{'harmful':>9s}{'issued':>9s}")
+    for w, c in rows.items():
+        print(f"{w:10s}{c.fraction('useful'):9.2f}{c.fraction('useful_polluting'):9.2f}"
+              f"{c.fraction('useless'):9.2f}{c.fraction('harmful'):9.2f}{c.issued:9d}")
+
+    # The accurate stream codes resolve mostly useful...
+    for w in ("apsi", "mgrid", "art"):
+        assert rows[w].fraction("useful") > 0.5, w
+    # ...while jbb's overshooting prefetches skew useless+harmful worse
+    # than any other workload — the taxonomy-level explanation of its
+    # Figure 6 slowdown.
+    def bad(w):
+        return rows[w].fraction("useless") + rows[w].fraction("harmful")
+
+    assert bad("jbb") == max(bad(w) for w in rows)
+    assert bad("jbb") > 0.2

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Adaptive-prefetching deep dive on a pollution-limited workload.
+
+SPECjbb's short, irregular miss streams make the 25-deep L2 startup
+prefetches overshoot badly: the useless prefetches evict live lines from
+a near-capacity cache and burn pin bandwidth, costing ~20% performance.
+The paper's fix is a saturating counter fed by three signals derived
+from compression's spare cache tags: useful hits (prefetch bit set),
+useless evictions (prefetch bit never cleared), and harmful misses
+(victim-tag match).  This example shows the detector's raw event counts
+and how the counter heals the slowdown.
+
+Run:  python examples/adaptive_prefetch_tuning.py [workload]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro import CMPSystem, SystemConfig
+
+EVENTS = int(os.environ.get("REPRO_EVENTS", 6000))
+WARMUP = int(os.environ.get("REPRO_WARMUP", 10000))
+
+
+def run(config, workload):
+    system = CMPSystem(config, workload, seed=0)
+    result = system.run(EVENTS, warmup_events=WARMUP)
+    return system, result
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "jbb"
+    config = SystemConfig().scaled(4)
+
+    _, base = run(config, workload)
+    sys_pref, pref = run(config.with_features(prefetching=True), workload)
+    sys_adap, adap = run(config.with_features(prefetching=True, adaptive=True), workload)
+
+    print(f"workload: {workload}\n")
+    print(f"{'config':12s}{'cycles':>12s}{'vs base':>9s}{'L2 misses':>11s}{'pin GB/s':>10s}")
+    for name, r in [("base", base), ("prefetch", pref), ("adaptive", adap)]:
+        print(f"{name:12s}{r.elapsed_cycles:12.0f}{100 * (r.speedup_vs(base) - 1):+8.1f}%"
+              f"{r.l2.demand_misses:11d}{r.bandwidth_gbs:10.2f}")
+
+    print("\nL2 prefetcher detail (EQ 2-4):")
+    print(f"{'':12s}{'issued':>8s}{'useful':>8s}{'useless':>8s}{'harmful':>8s}"
+          f"{'coverage':>10s}{'accuracy':>10s}")
+    for name, r in [("prefetch", pref), ("adaptive", adap)]:
+        rep = r.prefetcher_report("l2")
+        print(f"{name:12s}{rep.issued:8d}{rep.useful:8d}{rep.useless:8d}{rep.harmful:8d}"
+              f"{100 * rep.coverage:9.1f}%{100 * rep.accuracy:9.1f}%")
+
+    counter = sys_adap.hierarchy.l2_adaptive
+    print(f"\nFinal L2 saturating counter: {counter.counter}/{counter.counter_max} "
+          f"(useful={counter.useful_events}, useless={counter.useless_events}, "
+          f"harmful={counter.harmful_events})")
+    print("A low counter means the mechanism chose to throttle startup "
+          "prefetches down; zero disables new streams except probes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Pin-bandwidth planning: when does link compression pay for itself?
+
+A system designer choosing a pin budget wants to know where the
+prefetching+compression interaction lives (the paper's Figure 11): with
+scarce pins the techniques reinforce each other strongly; with abundant
+pins the interaction collapses.  This example sweeps the pin budget for
+one workload and prints speedups and the EQ 5 interaction term.
+
+Run:  python examples/bandwidth_planning.py [workload]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro import CMPSystem, SystemConfig, interaction_coefficient
+
+EVENTS = int(os.environ.get("REPRO_EVENTS", 5000))
+WARMUP = int(os.environ.get("REPRO_WARMUP", 8000))
+BANDWIDTHS = (10.0, 20.0, 40.0, 80.0)
+
+
+def run(config, workload):
+    return CMPSystem(config, workload, seed=0).run(EVENTS, warmup_events=WARMUP)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "zeus"
+    print(f"workload: {workload}\n")
+    print(f"{'GB/s':>6s}{'pref%':>9s}{'compr%':>9s}{'both%':>9s}"
+          f"{'interact%':>11s}{'link occ%':>11s}")
+
+    from dataclasses import replace
+
+    for bw in BANDWIDTHS:
+        config = SystemConfig().scaled(4)
+        config = replace(config, link=replace(config.link, bandwidth_gbs=bw))
+        base = run(config, workload)
+        pref = run(config.with_features(prefetching=True), workload)
+        compr = run(config.with_features(cache_compression=True, link_compression=True), workload)
+        both = run(
+            config.with_features(cache_compression=True, link_compression=True, prefetching=True),
+            workload,
+        )
+        s_p, s_c, s_b = (base.runtime / r.runtime for r in (pref, compr, both))
+        inter = interaction_coefficient(s_b, s_p, s_c)
+        print(f"{bw:6.0f}{100 * (s_p - 1):+9.1f}{100 * (s_c - 1):+9.1f}"
+              f"{100 * (s_b - 1):+9.1f}{100 * inter:+11.1f}"
+              f"{100 * pref.extra['link_occupancy']:11.1f}")
+
+    print(
+        "\nReading: at tight pin budgets the interaction term is strongly"
+        "\npositive (compression frees the bandwidth prefetching needs); at"
+        "\n40-80 GB/s it collapses toward zero — size your pins accordingly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Record once, replay everywhere: controlled A/B configuration studies.
+
+The synthetic generators are seeded, so two runs with the same seed
+already see identical work — but a recorded trace makes that an artifact
+you can save, share, and replay against any configuration (or feed in
+from another simulator, converted to the format in
+``repro/trace/format.py``).
+
+Run:  python examples/trace_replay_study.py [workload] [trace-path]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+from repro import CMPSystem, SystemConfig, TracePack, record_trace
+
+EVENTS = int(os.environ.get("REPRO_EVENTS", 5000))
+WARMUP = int(os.environ.get("REPRO_WARMUP", 8000))
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "oltp"
+    path = sys.argv[2] if len(sys.argv) > 2 else os.path.join(
+        tempfile.gettempdir(), f"{workload}.rpt.gz"
+    )
+    config = SystemConfig().scaled(4)
+
+    print(f"recording {workload}: {config.n_cores} cores x {EVENTS + WARMUP} events")
+    pack = record_trace(
+        workload,
+        n_cores=config.n_cores,
+        events_per_core=EVENTS + WARMUP,
+        seed=0,
+        l2_lines=config.l2.n_lines,
+        l1i_lines=config.l1i.n_lines,
+    )
+    pack.save(path)
+    size_kb = os.path.getsize(path) / 1024
+    print(f"saved to {path} ({size_kb:.0f} KiB)\n")
+
+    reloaded = TracePack.load(path)
+    results = {}
+    for name, features in [
+        ("base", {}),
+        ("compression", dict(cache_compression=True, link_compression=True)),
+        ("prefetching", dict(prefetching=True)),
+        ("both", dict(cache_compression=True, link_compression=True, prefetching=True)),
+    ]:
+        cfg = config.with_features(**features) if features else config
+        system = CMPSystem(cfg, trace=reloaded)
+        results[name] = system.run(EVENTS, warmup_events=WARMUP, config_name=name)
+
+    base = results["base"]
+    print(f"{'config':14s}{'cycles':>12s}{'speedup':>9s}{'L2 misses':>11s}")
+    for name, r in results.items():
+        print(f"{name:14s}{r.elapsed_cycles:12.0f}{r.speedup_vs(base):9.3f}"
+              f"{r.l2.demand_misses:11d}")
+    print("\nEvery row replayed the *identical* event stream — differences "
+          "are purely architectural.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Cache substrate: plain set-associative caches and the compressed L2."""
+
+from repro.cache.line import MSIState, TagEntry
+from repro.cache.set_assoc import Eviction, SetAssocCache
+from repro.cache.compressed import CompressedSetCache
+
+__all__ = [
+    "MSIState",
+    "TagEntry",
+    "Eviction",
+    "SetAssocCache",
+    "CompressedSetCache",
+]

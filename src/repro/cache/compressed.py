@@ -1,0 +1,230 @@
+"""Decoupled variable-segment compressed cache (the shared L2).
+
+Following Alameldeen & Wood's ISCA'04 design, each set has
+``tags_per_set`` (8) address tags decoupled from a data array of
+``data_segments_per_set`` 8-byte segments — 32 segments, i.e. data space
+for exactly 4 uncompressed 64-byte lines.  (The HPCA'07 text says "64
+8-byte segments" in one sentence and "data space for 4 uncompressed
+lines" in another; the two are inconsistent, and we follow the 4-line
+data space that both papers' capacity claims — "at most double" — are
+built on.)  An uncompressed line uses 8 segments; FPC-compressed lines
+use 1-7, so a set can hold between 4 (all uncompressed) and 8 (all
+well-compressed) lines.
+
+Invalid tags retain their last address.  These *victim tags* are exactly
+what the paper's adaptive prefetcher mines to detect harmful prefetches:
+a miss whose address matches a victim tag, in a set that still holds an
+unreferenced prefetched line, was plausibly caused by that prefetch.
+
+With ``compressed=False`` the same structure models the paper's
+uncompressed-L2-with-adaptive-prefetching configuration: every line
+occupies 8 segments (so at most 4 live lines per set) and the 4 spare
+tags serve purely as victim tags (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.line import MSIState, TagEntry
+from repro.cache.lru import touch
+from repro.cache.set_assoc import Eviction
+from repro.params import L2Config, SEGMENTS_PER_LINE
+
+
+class _Set:
+    __slots__ = ("valid_stack", "victim_stack", "used_segments")
+
+    def __init__(self, tags: int) -> None:
+        self.valid_stack: List[TagEntry] = []  # MRU first
+        # Most-recently-evicted first; entries here are invalid tags whose
+        # ``addr`` is the victim address.
+        self.victim_stack: List[TagEntry] = [TagEntry() for _ in range(tags)]
+        self.used_segments = 0
+
+
+class CompressedSetCache:
+    """The shared L2: banked, inclusive, optionally compressed."""
+
+    def __init__(self, config: L2Config) -> None:
+        self.config = config
+        self.n_sets = config.n_sets
+        self.tags_per_set = config.tags_per_set
+        self.total_segments = config.data_segments_per_set
+        self.compressed = config.compressed
+        self._sets = [_Set(config.tags_per_set) for _ in range(self.n_sets)]
+        self._map: Dict[int, TagEntry] = {}
+        self._valid_count = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    def set_index(self, line_addr: int) -> int:
+        return line_addr % self.n_sets
+
+    def bank_of(self, line_addr: int) -> int:
+        """Banks are interleaved on the least-significant line-address bits."""
+        return line_addr % self.config.n_banks
+
+    # -- lookups -----------------------------------------------------------
+
+    def probe(self, line_addr: int) -> Optional[TagEntry]:
+        entry = self._map.get(line_addr)
+        if entry is not None and entry.valid:
+            return entry
+        return None
+
+    def touch(self, line_addr: int) -> None:
+        entry = self._map.get(line_addr)
+        if entry is None or not entry.valid:
+            raise KeyError(f"line {line_addr:#x} not resident")
+        touch(self._sets[self.set_index(line_addr)].valid_stack, entry)
+
+    def stack_depth(self, line_addr: int) -> int:
+        """0-based LRU stack position of a resident line (0 = MRU)."""
+        cset = self._sets[self.set_index(line_addr)]
+        for depth, entry in enumerate(cset.valid_stack):
+            if entry.addr == line_addr:
+                return depth
+        raise KeyError(f"line {line_addr:#x} not resident")
+
+    def victim_match(self, line_addr: int) -> bool:
+        """Search the set's invalid tags (in stack order) for this address."""
+        for entry in self._sets[self.set_index(line_addr)].victim_stack:
+            if entry.addr == line_addr:
+                return True
+        return False
+
+    def set_has_prefetched_line(self, line_addr: int) -> bool:
+        for entry in self._sets[self.set_index(line_addr)].valid_stack:
+            if entry.prefetch_bit:
+                return True
+        return False
+
+    def free_victim_tags(self, line_addr: int) -> int:
+        """How many victim tags the set currently has (8 - live lines)."""
+        return len(self._sets[self.set_index(line_addr)].victim_stack)
+
+    # -- modification ------------------------------------------------------
+
+    def insert(
+        self,
+        line_addr: int,
+        segments: int,
+        *,
+        dirty: bool = False,
+        prefetch: bool = False,
+        fill_time: float = 0.0,
+        sharers: int = 0,
+        owner: int = -1,
+        state: int = MSIState.SHARED,
+    ) -> List[Eviction]:
+        """Insert a line, evicting as many LRU lines as segment space and
+        tag availability require.  Returns the (possibly several) evictions.
+        """
+        if self.probe(line_addr) is not None:
+            raise ValueError(f"line {line_addr:#x} already resident")
+        if not self.compressed:
+            segments = SEGMENTS_PER_LINE
+        if not 1 <= segments <= SEGMENTS_PER_LINE:
+            raise ValueError(f"segment count out of range: {segments}")
+
+        cset = self._sets[self.set_index(line_addr)]
+        evictions: List[Eviction] = []
+        while cset.used_segments + segments > self.total_segments or not cset.victim_stack:
+            evictions.append(self._evict_lru(cset))
+
+        # Claim the *oldest* victim tag so fresher victim addresses survive.
+        entry = cset.victim_stack.pop()
+        entry.addr = line_addr
+        entry.valid = True
+        entry.state = state
+        entry.dirty = dirty
+        entry.prefetch_bit = prefetch
+        entry.segments = segments
+        entry.fill_time = fill_time
+        entry.sharers = sharers
+        entry.owner = owner
+        cset.valid_stack.insert(0, entry)
+        cset.used_segments += segments
+        self._map[line_addr] = entry
+        self._valid_count += 1
+        return evictions
+
+    def invalidate(self, line_addr: int) -> Optional[Eviction]:
+        entry = self._map.get(line_addr)
+        if entry is None or not entry.valid:
+            return None
+        cset = self._sets[self.set_index(line_addr)]
+        cset.valid_stack.remove(entry)
+        return self._retire(cset, entry)
+
+    def resize(self, line_addr: int, new_segments: int) -> List[Eviction]:
+        """Re-pack a resident line after its contents change size.
+
+        Growing may force evictions of *other* lines (never the line
+        itself); shrinking just releases segments.
+        """
+        entry = self._map.get(line_addr)
+        if entry is None or not entry.valid:
+            raise KeyError(f"line {line_addr:#x} not resident")
+        if not self.compressed:
+            return []
+        if not 1 <= new_segments <= SEGMENTS_PER_LINE:
+            raise ValueError(f"segment count out of range: {new_segments}")
+        cset = self._sets[self.set_index(line_addr)]
+        evictions: List[Eviction] = []
+        delta = new_segments - entry.segments
+        while delta > 0 and cset.used_segments + delta > self.total_segments:
+            victim = self._lru_other(cset, entry)
+            if victim is None:  # only this line left; cannot overflow (<=8 segs)
+                break
+            cset.valid_stack.remove(victim)
+            evictions.append(self._retire(cset, victim))
+        cset.used_segments += delta
+        entry.segments = new_segments
+        return evictions
+
+    # -- accounting --------------------------------------------------------
+
+    def resident_lines(self) -> int:
+        """Live line count — the effective-cache-size numerator (Table 3)."""
+        return self._valid_count
+
+    @property
+    def uncompressed_capacity_lines(self) -> int:
+        return self.n_sets * self.config.uncompressed_assoc
+
+    def used_segments_total(self) -> int:
+        return sum(s.used_segments for s in self._sets)
+
+    # -- internals ----------------------------------------------------------
+
+    def _evict_lru(self, cset: _Set) -> Eviction:
+        if not cset.valid_stack:
+            raise RuntimeError("eviction requested from an empty set")
+        entry = cset.valid_stack.pop()
+        return self._retire(cset, entry)
+
+    def _retire(self, cset: _Set, entry: TagEntry) -> Eviction:
+        eviction = Eviction(
+            addr=entry.addr,
+            dirty=entry.dirty,
+            prefetch_untouched=entry.prefetch_bit,
+            state=entry.state,
+            sharers=entry.sharers,
+            owner=entry.owner,
+            segments=entry.segments,
+        )
+        cset.used_segments -= entry.segments
+        self._map.pop(entry.addr, None)
+        self._valid_count -= 1
+        entry.reset()  # retains addr: becomes a victim tag
+        cset.victim_stack.insert(0, entry)
+        return eviction
+
+    @staticmethod
+    def _lru_other(cset: _Set, keep: TagEntry) -> Optional[TagEntry]:
+        for entry in reversed(cset.valid_stack):
+            if entry is not keep:
+                return entry
+        return None

@@ -1,0 +1,66 @@
+"""Cache tag entries and MSI line states."""
+
+from __future__ import annotations
+
+
+class MSIState:
+    """MSI coherence states, as plain ints for speed in the hot path."""
+
+    INVALID = 0
+    SHARED = 1
+    MODIFIED = 2
+
+    NAMES = {0: "I", 1: "S", 2: "M"}
+
+
+class TagEntry:
+    """One address tag in a cache set.
+
+    ``valid=False`` entries still hold their last address: these are the
+    *victim tags* the adaptive prefetcher searches to detect harmful
+    prefetches (Section 3 of the paper).
+
+    ``fill_time`` is the cycle at which the line's data actually arrives;
+    lines are inserted into the tag array at issue time, so a demand hit
+    before ``fill_time`` is a *partial hit* that waits for the in-flight
+    fill.
+    """
+
+    __slots__ = (
+        "addr",
+        "valid",
+        "state",
+        "dirty",
+        "prefetch_bit",
+        "segments",
+        "fill_time",
+        "sharers",
+        "owner",
+    )
+
+    def __init__(self) -> None:
+        self.addr: int = -1
+        self.valid: bool = False
+        self.state: int = MSIState.INVALID
+        self.dirty: bool = False
+        self.prefetch_bit: bool = False
+        self.segments: int = 8
+        self.fill_time: float = 0.0
+        self.sharers: int = 0  # bit-vector of L1 sharers (L2 directory)
+        self.owner: int = -1  # core id holding the line M at L1, else -1
+
+    def reset(self) -> None:
+        """Invalidate but *retain the address* (becomes a victim tag)."""
+        self.valid = False
+        self.state = MSIState.INVALID
+        self.dirty = False
+        self.prefetch_bit = False
+        self.sharers = 0
+        self.owner = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "V" if self.valid else "v"
+        return (
+            f"<Tag {flag} addr={self.addr:#x} {MSIState.NAMES[self.state]}"
+            f" seg={self.segments}{' pf' if self.prefetch_bit else ''}>"
+        )

@@ -1,0 +1,33 @@
+"""LRU stack helpers shared by the plain and compressed caches.
+
+Sets are small (4-8 ways), so an MRU-first Python list beats any fancier
+structure; these helpers keep the stack-manipulation idioms in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+def touch(stack: List[T], item: T) -> None:
+    """Move ``item`` to the MRU (front) position."""
+    stack.remove(item)
+    stack.insert(0, item)
+
+
+def lru_valid(stack: List, *, is_valid=lambda e: e.valid) -> Optional[object]:
+    """Return the least-recently-used valid entry, or None."""
+    for entry in reversed(stack):
+        if is_valid(entry):
+            return entry
+    return None
+
+
+def lru_invalid(stack: List, *, is_valid=lambda e: e.valid) -> Optional[object]:
+    """Return the least-recently-used invalid entry, or None."""
+    for entry in reversed(stack):
+        if not is_valid(entry):
+            return entry
+    return None

@@ -1,0 +1,134 @@
+"""Plain set-associative cache with LRU replacement (the private L1s).
+
+Each set carries ``victim_depth`` extra address-only victim tags so the
+adaptive prefetcher can detect harmful prefetches at the L1s too (the L2
+gets real victim tags for free from compression's spare address tags; see
+:mod:`repro.cache.compressed`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.line import MSIState, TagEntry
+from repro.cache.lru import touch
+from repro.params import CacheConfig
+
+
+@dataclass
+class Eviction:
+    """What an insertion pushed out."""
+
+    addr: int
+    dirty: bool
+    prefetch_untouched: bool  # prefetch bit still set => useless prefetch
+    state: int = MSIState.INVALID
+    sharers: int = 0  # L1 sharer bit-vector (meaningful for L2 evictions)
+    owner: int = -1
+    segments: int = 8
+
+
+class SetAssocCache:
+    """LRU set-associative cache addressed by *line* address."""
+
+    def __init__(self, config: CacheConfig, victim_depth: int = 0) -> None:
+        self.config = config
+        self.n_sets = config.n_sets
+        self.assoc = config.assoc
+        self.victim_depth = victim_depth
+        self._sets: List[List[TagEntry]] = [
+            [TagEntry() for _ in range(config.assoc)] for _ in range(self.n_sets)
+        ]
+        self._map: Dict[int, TagEntry] = {}
+        # Per-set MRU-first list of recently evicted line addresses.
+        self._victims: List[List[int]] = [[] for _ in range(self.n_sets)]
+
+    def set_index(self, line_addr: int) -> int:
+        return line_addr % self.n_sets
+
+    def probe(self, line_addr: int) -> Optional[TagEntry]:
+        """Lookup without touching LRU state."""
+        entry = self._map.get(line_addr)
+        if entry is not None and entry.valid:
+            return entry
+        return None
+
+    def touch(self, line_addr: int) -> None:
+        """Promote a resident line to MRU."""
+        entry = self._map.get(line_addr)
+        if entry is None or not entry.valid:
+            raise KeyError(f"line {line_addr:#x} not resident")
+        touch(self._sets[self.set_index(line_addr)], entry)
+
+    def insert(
+        self,
+        line_addr: int,
+        *,
+        state: int = MSIState.SHARED,
+        dirty: bool = False,
+        prefetch: bool = False,
+        fill_time: float = 0.0,
+    ) -> Optional[Eviction]:
+        """Insert a line at MRU, returning the eviction it caused (if any)."""
+        if self.probe(line_addr) is not None:
+            raise ValueError(f"line {line_addr:#x} already resident")
+        stack = self._sets[self.set_index(line_addr)]
+        entry = self._find_free(stack)
+        eviction = None
+        if entry is None:
+            entry = stack[-1]  # LRU
+            eviction = self._evict(entry)
+        entry.addr = line_addr
+        entry.valid = True
+        entry.state = state
+        entry.dirty = dirty
+        entry.prefetch_bit = prefetch
+        entry.fill_time = fill_time
+        self._map[line_addr] = entry
+        touch(stack, entry)
+        return eviction
+
+    def invalidate(self, line_addr: int) -> Optional[Eviction]:
+        """Coherence invalidation; the tag becomes a victim tag."""
+        entry = self._map.get(line_addr)
+        if entry is None or not entry.valid:
+            return None
+        return self._evict(entry)
+
+    def victim_match(self, line_addr: int) -> bool:
+        """Was this line recently evicted from its set (harmful-prefetch probe)?"""
+        return line_addr in self._victims[self.set_index(line_addr)]
+
+    def set_has_prefetched_line(self, line_addr: int) -> bool:
+        """Does the set currently hold any still-unreferenced prefetched line?"""
+        for entry in self._sets[self.set_index(line_addr)]:
+            if entry.valid and entry.prefetch_bit:
+                return True
+        return False
+
+    def resident_lines(self) -> int:
+        return sum(1 for e in self._map.values() if e.valid)
+
+    def _find_free(self, stack: List[TagEntry]) -> Optional[TagEntry]:
+        for entry in stack:
+            if not entry.valid:
+                return entry
+        return None
+
+    def _evict(self, entry: TagEntry) -> Eviction:
+        eviction = Eviction(
+            addr=entry.addr,
+            dirty=entry.dirty,
+            prefetch_untouched=entry.prefetch_bit,
+            state=entry.state,
+        )
+        self._map.pop(entry.addr, None)
+        if self.victim_depth:
+            victims = self._victims[self.set_index(entry.addr)]
+            if entry.addr in victims:
+                victims.remove(entry.addr)
+            victims.insert(0, entry.addr)
+            del victims[self.victim_depth :]
+        entry.reset()
+        return eviction

@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run zeus --config pref_compr --events 10000
+    python -m repro sweep --workloads zeus,jbb --configs base,pref,compr
+    python -m repro record zeus trace.rpt --events 20000
+    python -m repro replay trace.rpt --config compr
+    python -m repro table5
+    python -m repro schemes oltp
+
+Output defaults to an aligned table; ``--json`` / ``--csv`` switch the
+format for piping into other tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.experiment import CONFIG_FEATURES, make_config, run_point
+from repro.core.interaction import InteractionBreakdown
+from repro.core.results import SimulationResult
+from repro.core.system import CMPSystem
+from repro.report.export import result_to_dict, results_to_csv, results_to_json
+from repro.report.tables import Table
+from repro.trace.io import TracePack, record_trace
+from repro.workloads.registry import all_names
+
+
+def _add_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--events", type=int, default=10_000, help="measured events per core")
+    p.add_argument("--warmup", type=int, default=None, help="warmup events per core")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=int, default=4, help="capacity scale divisor")
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--bandwidth", type=float, default=20.0, help="pin GB/s; 0 = infinite")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--csv", action="store_true")
+
+
+def _emit(results: List[SimulationResult], args) -> None:
+    if args.json:
+        print(results_to_json(results))
+        return
+    if args.csv:
+        print(results_to_csv(results), end="")
+        return
+    table = Table(
+        ["workload", "config", "cycles", "ipc", "l2 miss%", "GB/s", "ratio"],
+        float_format="{:.3f}",
+    )
+    for r in results:
+        table.add_row(
+            [
+                r.workload,
+                r.config_name,
+                int(r.elapsed_cycles),
+                r.ipc,
+                100 * r.l2.miss_rate,
+                r.bandwidth_gbs,
+                r.compression_ratio,
+            ]
+        )
+    print(table.render())
+
+
+def _run_one(workload: str, key: str, args) -> SimulationResult:
+    return run_point(
+        workload,
+        key,
+        seed=args.seed,
+        events=args.events,
+        warmup=args.warmup if args.warmup is not None else args.events,
+        n_cores=args.cores,
+        scale=args.scale,
+        bandwidth_gbs=args.bandwidth or None,
+        infinite_bandwidth=args.bandwidth == 0,
+        use_cache=False,
+    )
+
+
+def cmd_run(args) -> int:
+    _emit([_run_one(args.workload, args.config, args)], args)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    workloads = args.workloads.split(",") if args.workloads else all_names()
+    keys = args.configs.split(",")
+    results = [_run_one(w, k, args) for w in workloads for k in keys]
+    _emit(results, args)
+    return 0
+
+
+def cmd_table5(args) -> int:
+    workloads = args.workloads.split(",") if args.workloads else all_names()
+    table = Table(
+        ["workload", "pref%", "compr%", "both%", "interaction%"], float_format="{:+.1f}"
+    )
+    for w in workloads:
+        base = _run_one(w, "base", args)
+        b = InteractionBreakdown.from_runtimes(
+            w,
+            base=base.runtime,
+            with_a=_run_one(w, "pref", args).runtime,
+            with_b=_run_one(w, "compr", args).runtime,
+            with_both=_run_one(w, "pref_compr", args).runtime,
+        )
+        table.add_row(
+            [w, 100 * (b.speedup_a - 1), 100 * (b.speedup_b - 1),
+             100 * (b.speedup_ab - 1), 100 * b.interaction]
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_record(args) -> int:
+    cfg = make_config("base", n_cores=args.cores, scale=args.scale)
+    pack = record_trace(
+        args.workload,
+        n_cores=args.cores,
+        events_per_core=args.events,
+        seed=args.seed,
+        l2_lines=cfg.l2.n_lines,
+        l1i_lines=cfg.l1i.n_lines,
+    )
+    pack.save(args.path)
+    print(f"recorded {pack.n_cores}x{pack.events_per_core} events of "
+          f"{pack.workload} to {args.path}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    pack = TracePack.load(args.path)
+    cfg = make_config(
+        args.config,
+        n_cores=pack.n_cores,
+        scale=args.scale,
+        bandwidth_gbs=args.bandwidth or None,
+        infinite_bandwidth=args.bandwidth == 0,
+    )
+    system = CMPSystem(cfg, trace=pack)
+    result = system.run(args.events or pack.events_per_core,
+                        warmup_events=args.warmup, config_name=args.config)
+    _emit([result], args)
+    return 0
+
+
+def cmd_schemes(args) -> int:
+    from repro.compression.schemes import compare_schemes
+    from repro.workloads.registry import get_spec
+    from repro.workloads.values import ValueModel
+
+    spec = get_spec(args.workload)
+    model = ValueModel(spec.value_mix, seed=args.seed, pool_size=512)
+    lines = [model.line_words(i * 37) for i in range(256)]
+    table = Table(["scheme", "avg segments", "expansion"], float_format="{:.2f}")
+    for name, segments in compare_schemes(lines).items():
+        table.add_row([name, segments, min(8.0 / segments, 2.0)])
+    print(f"{args.workload} data under each compression scheme:")
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="simulate one (workload, config) point")
+    p.add_argument("workload", choices=all_names())
+    p.add_argument("--config", default="base", choices=sorted(CONFIG_FEATURES))
+    _add_run_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="simulate a workload x config matrix")
+    p.add_argument("--workloads", default="", help="comma list (default: all)")
+    p.add_argument("--configs", default="base,pref,compr,pref_compr")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("table5", help="reproduce Table 5 speedups/interactions")
+    p.add_argument("--workloads", default="", help="comma list (default: all)")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_table5)
+
+    p = sub.add_parser("record", help="record a workload trace to a file")
+    p.add_argument("workload", choices=all_names())
+    p.add_argument("path")
+    p.add_argument("--events", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=int, default=4)
+    p.add_argument("--cores", type=int, default=8)
+    p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser("replay", help="replay a recorded trace")
+    p.add_argument("path")
+    p.add_argument("--config", default="base", choices=sorted(CONFIG_FEATURES))
+    p.add_argument("--events", type=int, default=0, help="0 = full trace length")
+    p.add_argument("--warmup", type=int, default=None)
+    p.add_argument("--scale", type=int, default=4)
+    p.add_argument("--bandwidth", type=float, default=20.0)
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--csv", action="store_true")
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("schemes", help="compare compression schemes on a workload's data")
+    p.add_argument("workload", choices=all_names())
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_schemes)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

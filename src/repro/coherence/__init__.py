@@ -1,0 +1,6 @@
+"""MSI coherence between private L1s and the shared inclusive L2."""
+
+from repro.coherence.msi import LEGAL_TRANSITIONS, check_transition
+from repro.coherence.directory import Directory
+
+__all__ = ["LEGAL_TRANSITIONS", "check_transition", "Directory"]

@@ -1,0 +1,71 @@
+"""Sharer-bit directory kept in the L2 tags.
+
+The paper's L2 "maintains inclusion and has full knowledge of on-chip L1
+sharers via individual bits in its cache tag".  We store the bit-vector
+in ``TagEntry.sharers`` and the modified-owner core id in
+``TagEntry.owner``; this class supplies the bit manipulation so the
+hierarchy code stays readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cache.line import TagEntry
+
+
+class Directory:
+    def __init__(self, n_cores: int) -> None:
+        if n_cores <= 0:
+            raise ValueError("need at least one core")
+        self.n_cores = n_cores
+        self._full_mask = (1 << n_cores) - 1
+
+    def add_sharer(self, entry: TagEntry, core: int) -> None:
+        self._check(core)
+        entry.sharers |= 1 << core
+
+    def remove_sharer(self, entry: TagEntry, core: int) -> None:
+        self._check(core)
+        entry.sharers &= ~(1 << core)
+        if entry.owner == core:
+            entry.owner = -1
+
+    def set_owner(self, entry: TagEntry, core: int) -> None:
+        """Grant exclusive (Modified) ownership: core becomes sole sharer."""
+        self._check(core)
+        entry.sharers = 1 << core
+        entry.owner = core
+
+    def clear_owner(self, entry: TagEntry) -> None:
+        entry.owner = -1
+
+    def is_sharer(self, entry: TagEntry, core: int) -> bool:
+        self._check(core)
+        return bool(entry.sharers >> core & 1)
+
+    def sharers(self, entry: TagEntry) -> Iterator[int]:
+        bits = entry.sharers & self._full_mask
+        core = 0
+        while bits:
+            if bits & 1:
+                yield core
+            bits >>= 1
+            core += 1
+
+    def other_sharers(self, entry: TagEntry, core: int) -> Iterator[int]:
+        self._check(core)
+        for sharer in self.sharers(entry):
+            if sharer != core:
+                yield sharer
+
+    def has_other_sharers(self, entry: TagEntry, core: int) -> bool:
+        self._check(core)
+        return bool(entry.sharers & ~(1 << core) & self._full_mask)
+
+    def sharer_count(self, entry: TagEntry) -> int:
+        return bin(entry.sharers & self._full_mask).count("1")
+
+    def _check(self, core: int) -> None:
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core id {core} out of range [0, {self.n_cores})")

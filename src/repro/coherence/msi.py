@@ -1,0 +1,48 @@
+"""MSI protocol transition table.
+
+The simulator keeps L1 line states in :class:`repro.cache.line.TagEntry`
+and drives transitions from the access path in
+:mod:`repro.core.hierarchy`; this module is the single source of truth
+for which transitions are legal, used both by the hierarchy (in debug
+checks) and by the protocol unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.cache.line import MSIState
+
+I, S, M = MSIState.INVALID, MSIState.SHARED, MSIState.MODIFIED
+
+#: (from_state, event) -> to_state
+LEGAL_TRANSITIONS: Dict[Tuple[int, str], int] = {
+    (I, "load"): S,  # read miss fills Shared
+    (I, "store"): M,  # write-allocate miss fills Modified
+    (S, "load"): S,
+    (S, "store"): M,  # upgrade
+    (M, "load"): M,
+    (M, "store"): M,
+    (S, "inval"): I,  # remote store invalidates sharers
+    (M, "inval"): I,  # remote store invalidates the owner (after writeback)
+    (M, "downgrade"): S,  # remote load downgrades the owner
+    (S, "evict"): I,
+    (M, "evict"): I,  # with writeback
+}
+
+EVENTS: FrozenSet[str] = frozenset(e for _, e in LEGAL_TRANSITIONS)
+
+
+def check_transition(from_state: int, event: str, to_state: int) -> bool:
+    """True iff ``from_state --event--> to_state`` is legal MSI."""
+    return LEGAL_TRANSITIONS.get((from_state, event)) == to_state
+
+
+def next_state(from_state: int, event: str) -> int:
+    """The state an event leads to; raises on illegal combinations."""
+    try:
+        return LEGAL_TRANSITIONS[(from_state, event)]
+    except KeyError:
+        raise ValueError(
+            f"illegal MSI transition: {MSIState.NAMES.get(from_state, '?')} on {event!r}"
+        ) from None

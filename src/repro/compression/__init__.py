@@ -1,0 +1,22 @@
+"""Frequent Pattern Compression and the segment/link packing built on it."""
+
+from repro.compression.fpc import (
+    FPC_PATTERNS,
+    classify_word,
+    compress_line,
+    compressed_size_bits,
+    decompress_check,
+)
+from repro.compression.segments import segments_for_line, segments_for_size
+from repro.compression.link import MessageSizer
+
+__all__ = [
+    "FPC_PATTERNS",
+    "classify_word",
+    "compress_line",
+    "compressed_size_bits",
+    "decompress_check",
+    "segments_for_line",
+    "segments_for_size",
+    "MessageSizer",
+]

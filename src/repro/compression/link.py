@@ -1,0 +1,45 @@
+"""Message sizing for the off-chip link, with and without link compression.
+
+Every message carries a header flit (address/command/length).  A data
+message carries the cache line as 8-byte flits: 8 of them uncompressed,
+or ``segments`` of them when link compression is on (the paper's "1-8
+sub-messages (flits), each containing an 8-byte segment").  Requests and
+acks are header-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import LINE_BYTES, SEGMENT_BYTES, SEGMENTS_PER_LINE
+
+
+@dataclass(frozen=True)
+class MessageSizer:
+    """Computes on-the-wire sizes given the link-compression setting."""
+
+    compressed: bool = False
+    header_bytes: int = SEGMENT_BYTES
+
+    def request_bytes(self) -> int:
+        """An address-only request or ack message."""
+        return self.header_bytes
+
+    def data_bytes(self, segments: int) -> int:
+        """A cache-line-carrying message (response or writeback).
+
+        ``segments`` is the line's FPC segment count; ignored when link
+        compression is off.
+        """
+        if not 1 <= segments <= SEGMENTS_PER_LINE:
+            raise ValueError(f"segment count out of range: {segments}")
+        payload = segments * SEGMENT_BYTES if self.compressed else LINE_BYTES
+        return self.header_bytes + payload
+
+    def data_flits(self, segments: int) -> int:
+        """Number of 8-byte flits in a data message, excluding the header."""
+        return self.data_bytes(segments) // SEGMENT_BYTES - 1
+
+    def uncompressed_equiv_bytes(self) -> int:
+        """What a data message would cost with link compression off."""
+        return self.header_bytes + LINE_BYTES

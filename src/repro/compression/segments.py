@@ -1,0 +1,39 @@
+"""Segment accounting for the decoupled variable-segment cache.
+
+The compressed L2 divides each set's data space into 8-byte segments.
+An uncompressed 64-byte line occupies 8 segments; a compressed line
+occupies ``ceil(fpc_bytes / 8)`` segments, between 1 and 7.  Lines whose
+FPC encoding would still need 8 or more segments are stored uncompressed
+(and skip the decompression penalty on hits) — the paper's "uncompressed
+L2 lines may bypass the decompression pipeline".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compression.fpc import compressed_size_bytes
+from repro.params import SEGMENT_BYTES, SEGMENTS_PER_LINE
+
+
+def segments_for_size(compressed_bytes: int) -> int:
+    """Segments occupied by a line whose FPC encoding is ``compressed_bytes``.
+
+    Returns a value in [1, 8]; 8 means the line is stored uncompressed.
+    """
+    if compressed_bytes <= 0:
+        raise ValueError("compressed size must be positive")
+    segments = (compressed_bytes + SEGMENT_BYTES - 1) // SEGMENT_BYTES
+    return min(segments, SEGMENTS_PER_LINE)
+
+
+def segments_for_line(words: Sequence[int]) -> int:
+    """Segments occupied by a concrete 16-word line under FPC."""
+    return segments_for_size(compressed_size_bytes(words))
+
+
+def is_stored_compressed(segments: int) -> bool:
+    """A line pays the decompression penalty iff it was actually packed."""
+    if not 1 <= segments <= SEGMENTS_PER_LINE:
+        raise ValueError(f"segment count out of range: {segments}")
+    return segments < SEGMENTS_PER_LINE

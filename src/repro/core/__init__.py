@@ -1,0 +1,43 @@
+"""The paper's primary contribution: system assembly, experiments, analysis."""
+
+from repro.core.system import CMPSystem
+from repro.core.simulator import simulate
+from repro.core.results import SimulationResult, PrefetcherReport
+from repro.core.interaction import (
+    InteractionBreakdown,
+    interaction_coefficient,
+    speedup,
+)
+from repro.core.missclass import MissClassification, classify_misses
+from repro.core.experiment import (
+    CONFIG_FEATURES,
+    make_config,
+    run_matrix,
+    run_point,
+    run_seeds,
+)
+from repro.core.sweep import Sweep, SweepResults
+from repro.core.bottleneck import CycleBreakdown, analyze
+from repro.core.validate import validate_hierarchy
+
+__all__ = [
+    "CMPSystem",
+    "simulate",
+    "SimulationResult",
+    "PrefetcherReport",
+    "InteractionBreakdown",
+    "interaction_coefficient",
+    "speedup",
+    "MissClassification",
+    "classify_misses",
+    "CONFIG_FEATURES",
+    "make_config",
+    "run_matrix",
+    "run_point",
+    "run_seeds",
+    "Sweep",
+    "SweepResults",
+    "CycleBreakdown",
+    "analyze",
+    "validate_hierarchy",
+]

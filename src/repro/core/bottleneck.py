@@ -1,0 +1,96 @@
+"""Cycle-breakdown bottleneck analysis.
+
+EQ 1 and Section 5's arguments are all about *where time goes*: compute,
+partially-hidden memory stalls, link queuing, DRAM occupancy.  This
+module decomposes a :class:`SimulationResult` into those buckets and
+names the dominant bottleneck — the quick diagnostic a system designer
+runs before choosing between more cache, more pins, or prefetching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    workload: str
+    config_name: str
+    total_cycles: float
+    compute_cycles: float
+    memory_stall_cycles: float
+    link_queue_cycles: float  # summed across messages; a pressure metric
+    link_occupancy: float  # 0-1 fraction of the run the data pins were busy
+    dram_requests: int
+
+    @property
+    def memory_stall_fraction(self) -> float:
+        return self.memory_stall_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def compute_fraction(self) -> float:
+        return self.compute_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    def dominant_bottleneck(self) -> str:
+        """Name the resource to fix first.
+
+        * link-saturated runs (occupancy > 0.75) are pin-bound;
+        * memory-stall-dominated runs (> 0.5 of cycles) are capacity or
+          latency bound — more cache, compression, or prefetching;
+        * otherwise the cores are mostly fed: compute-bound.
+        """
+        if self.link_occupancy > 0.75:
+            return "pin-bandwidth"
+        if self.memory_stall_fraction > 0.5:
+            return "memory-latency"
+        return "compute"
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_cycles": self.total_cycles,
+            "compute_fraction": self.compute_fraction,
+            "memory_stall_fraction": self.memory_stall_fraction,
+            "link_occupancy": self.link_occupancy,
+            "link_queue_cycles": self.link_queue_cycles,
+            "dram_requests": float(self.dram_requests),
+        }
+
+    def report(self) -> str:
+        return (
+            f"{self.workload}/{self.config_name}: "
+            f"{100 * self.compute_fraction:.0f}% compute, "
+            f"{100 * self.memory_stall_fraction:.0f}% memory stall, "
+            f"link {100 * self.link_occupancy:.0f}% busy "
+            f"-> bottleneck: {self.dominant_bottleneck()}"
+        )
+
+
+def analyze(result: SimulationResult) -> CycleBreakdown:
+    """Decompose a result's elapsed cycles (aggregated across cores).
+
+    ``compute`` is total cycles minus the measured stall component; the
+    two fractions are per-core averages weighted by each core's share of
+    elapsed time, which the result already aggregates.
+    """
+    total = result.elapsed_cycles
+    stalls = result.extra.get("memory_stall_cycles")
+    if stalls is None:
+        # Fall back to deriving from IPC (cpi_base=1) for hand-built results.
+        n_cores = int(result.extra.get("n_cores", 1)) or 1
+        per_core_instr_cycles = result.instructions / n_cores
+        stalls = max(total - per_core_instr_cycles, 0.0)
+    stalls = min(stalls, total)
+    compute = max(total - stalls, 0.0)
+    return CycleBreakdown(
+        workload=result.workload,
+        config_name=result.config_name,
+        total_cycles=total,
+        compute_cycles=compute,
+        memory_stall_cycles=stalls,
+        link_queue_cycles=result.link.queue_cycles,
+        link_occupancy=result.extra.get("link_occupancy", 0.0),
+        dram_requests=int(result.extra.get("dram_demand", 0) + result.extra.get("dram_prefetch", 0)),
+    )

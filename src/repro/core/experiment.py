@@ -1,0 +1,141 @@
+"""Experiment harness: the paper's feature matrix, env knobs, run caching.
+
+The paper's evaluation sweeps eight workloads across feature
+combinations; every bench in ``benchmarks/`` builds on the helpers here.
+Runs are memoised in-process because most figures share configurations
+(Figure 9 and Table 5, for example, reuse the same four runs).
+
+Environment knobs (all optional):
+
+* ``REPRO_EVENTS``  — measured trace events per core (default 20000)
+* ``REPRO_WARMUP``  — warmup events per core (default = REPRO_EVENTS)
+* ``REPRO_SEEDS``   — seeds per data point (default 1; >1 adds 95% CIs)
+* ``REPRO_SCALE``   — capacity scale divisor (default 4; 1 = full scale)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.results import SimulationResult
+from repro.core.system import CMPSystem
+from repro.params import SystemConfig
+
+#: The paper's feature combinations, by short name.
+CONFIG_FEATURES: Dict[str, Dict[str, bool]] = {
+    "base": dict(cache_compression=False, link_compression=False, prefetching=False, adaptive=False),
+    "pref": dict(cache_compression=False, link_compression=False, prefetching=True, adaptive=False),
+    "adaptive": dict(cache_compression=False, link_compression=False, prefetching=True, adaptive=True),
+    "cache_compr": dict(cache_compression=True, link_compression=False, prefetching=False, adaptive=False),
+    "link_compr": dict(cache_compression=False, link_compression=True, prefetching=False, adaptive=False),
+    "compr": dict(cache_compression=True, link_compression=True, prefetching=False, adaptive=False),
+    "pref_compr": dict(cache_compression=True, link_compression=True, prefetching=True, adaptive=False),
+    "adaptive_compr": dict(cache_compression=True, link_compression=True, prefetching=True, adaptive=True),
+}
+
+
+def env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def default_events() -> int:
+    return env_int("REPRO_EVENTS", 20_000)
+
+
+def default_warmup() -> int:
+    return env_int("REPRO_WARMUP", default_events())
+
+
+def default_seeds() -> int:
+    return env_int("REPRO_SEEDS", 1)
+
+
+def default_scale() -> int:
+    return env_int("REPRO_SCALE", 4)
+
+
+def make_config(
+    key: str,
+    *,
+    n_cores: int = 8,
+    scale: Optional[int] = None,
+    bandwidth_gbs: Optional[float] = 20.0,
+    infinite_bandwidth: bool = False,
+) -> SystemConfig:
+    """Build the Table 1 system with one of the paper's feature combos.
+
+    ``infinite_bandwidth`` selects the paper's bandwidth-*demand*
+    measurement configuration (Figures 4 and 7).
+    """
+    if key not in CONFIG_FEATURES:
+        raise KeyError(f"unknown config {key!r}; choose from {', '.join(CONFIG_FEATURES)}")
+    from dataclasses import replace
+
+    cfg = SystemConfig(n_cores=n_cores)
+    cfg = cfg.scaled(scale if scale is not None else default_scale())
+    bw = None if infinite_bandwidth else bandwidth_gbs
+    cfg = replace(cfg, link=replace(cfg.link, bandwidth_gbs=bw))
+    return cfg.with_features(**CONFIG_FEATURES[key])
+
+
+_CACHE: Dict[Tuple, SimulationResult] = {}
+
+
+def run_point(
+    workload: str,
+    key: str,
+    *,
+    seed: int = 0,
+    events: Optional[int] = None,
+    warmup: Optional[int] = None,
+    n_cores: int = 8,
+    scale: Optional[int] = None,
+    bandwidth_gbs: Optional[float] = 20.0,
+    infinite_bandwidth: bool = False,
+    use_cache: bool = True,
+) -> SimulationResult:
+    """Run one (workload, config) data point, memoised."""
+    events = events if events is not None else default_events()
+    warmup = warmup if warmup is not None else default_warmup()
+    cache_key = (workload, key, seed, events, warmup, n_cores,
+                 scale if scale is not None else default_scale(),
+                 bandwidth_gbs, infinite_bandwidth)
+    if use_cache and cache_key in _CACHE:
+        return _CACHE[cache_key]
+    config = make_config(
+        key,
+        n_cores=n_cores,
+        scale=scale,
+        bandwidth_gbs=bandwidth_gbs,
+        infinite_bandwidth=infinite_bandwidth,
+    )
+    system = CMPSystem(config, workload, seed=seed)
+    result = system.run(events, warmup_events=warmup, config_name=key)
+    if use_cache:
+        _CACHE[cache_key] = result
+    return result
+
+
+def run_seeds(workload: str, key: str, seeds: Optional[int] = None, **kwargs) -> List[SimulationResult]:
+    """One result per seed (the paper's variability methodology)."""
+    n = seeds if seeds is not None else default_seeds()
+    return [run_point(workload, key, seed=s, **kwargs) for s in range(n)]
+
+
+def run_matrix(
+    workloads: Iterable[str],
+    keys: Iterable[str],
+    **kwargs,
+) -> Dict[Tuple[str, str], SimulationResult]:
+    """Cartesian sweep used by most figures."""
+    return {
+        (w, k): run_point(w, k, **kwargs)
+        for w in workloads
+        for k in keys
+    }
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

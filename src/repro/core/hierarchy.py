@@ -1,0 +1,602 @@
+"""The CMP memory hierarchy: the full access path of Figure 2.
+
+Private L1 I/D caches per core, an 8-banked shared inclusive L2 (plain or
+compressed), an MSI directory in the L2 tags, per-core L1I/L1D/L2 stride
+prefetchers, the shared pin link, and DRAM.  This module owns every
+latency and every stats increment; the simulator above it only advances
+core clocks and the policy objects below it only make decisions.
+
+Timing conventions:
+
+* All latencies are returned relative to the access's issue time ``now``.
+* Prefetches are inserted into the target cache *immediately* with a
+  future ``fill_time``; a demand access arriving earlier waits out the
+  remaining latency (a partial hit).  This models prefetch timeliness
+  and pollution without a global event queue.
+* Shared resources (L2 banks, pin link, DRAM slots) use busy-until
+  queuing, which is where prefetching's extra traffic turns into the
+  demand-miss queuing delays the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cache.compressed import CompressedSetCache
+from repro.cache.line import MSIState
+from repro.cache.set_assoc import Eviction, SetAssocCache
+from repro.coherence.directory import Directory
+from repro.compression.policy import AdaptiveCompressionPolicy
+from repro.interconnect.link import PinLink
+from repro.interconnect.noc import OnChipNetwork
+from repro.memory.dram import DRAM
+from repro.params import SEGMENTS_PER_LINE, SystemConfig
+from repro.prefetch.adaptive import AdaptiveController
+from repro.prefetch.sequential import SequentialPrefetcher
+from repro.prefetch.stream_buffer import StreamBufferPool
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.taxonomy import PrefetchTaxonomy
+from repro.stats.histogram import LatencyHistogram
+from repro.stats.counters import CacheStats, CompressionStats, PrefetchStats
+from repro.workloads.base import IFETCH, STORE
+from repro.workloads.values import ValueModel
+
+_BANK_OCCUPANCY = 2  # cycles an L2 bank is busy per access
+_INTERVENTION_COST = 10  # extra cycles for dirty-owner intervention / invalidations
+_SAMPLE_EVERY = 512  # L2 accesses between effective-size samples
+
+
+class MemoryHierarchy:
+    def __init__(self, config: SystemConfig, values: ValueModel) -> None:
+        self.config = config
+        self.values = values
+        n = config.n_cores
+        pf_cfg = config.prefetch
+        victim_depth = pf_cfg.l1_victim_tags if pf_cfg.adaptive else 0
+
+        self.l1i = [SetAssocCache(config.l1i, victim_depth) for _ in range(n)]
+        self.l1d = [SetAssocCache(config.l1d, victim_depth) for _ in range(n)]
+        self.l2 = CompressedSetCache(config.l2)
+        self.directory = Directory(n)
+        self.link = PinLink(config.link, config.clock_ghz)
+        self.noc = OnChipNetwork(n, config.onchip_bandwidth_gbs, config.clock_ghz)
+        self.dram = DRAM(config.memory, n)
+
+        # Stats are aggregated per level (Table 4's granularity).
+        self.l1i_stats = CacheStats()
+        self.l1d_stats = CacheStats()
+        self.l2_stats = CacheStats()
+        self.pf_stats: Dict[str, PrefetchStats] = {
+            "l1i": PrefetchStats(),
+            "l1d": PrefetchStats(),
+            "l2": PrefetchStats(),
+        }
+        self.compression_stats = CompressionStats()
+        self.compression_stats.capacity_lines = self.l2.uncompressed_capacity_lines
+
+        # Adaptive throttles: one per L1 cache, ONE shared for the L2.
+        self.l2_adaptive = AdaptiveController(pf_cfg.counter_max, enabled=pf_cfg.adaptive)
+        if pf_cfg.kind == "stride":
+            make_pf = StridePrefetcher
+        elif pf_cfg.kind == "sequential":
+            make_pf = SequentialPrefetcher
+        else:
+            raise ValueError(f"unknown prefetcher kind {pf_cfg.kind!r}")
+        self.pf_l1i = [
+            make_pf("l1", pf_cfg, stats=self.pf_stats["l1i"]) for _ in range(n)
+        ]
+        self.pf_l1d = [
+            make_pf("l1", pf_cfg, stats=self.pf_stats["l1d"]) for _ in range(n)
+        ]
+        if pf_cfg.shared_l2:
+            shared = make_pf("l2", pf_cfg, adaptive=self.l2_adaptive, stats=self.pf_stats["l2"])
+            self.pf_l2 = [shared] * n
+        else:
+            self.pf_l2 = [
+                make_pf("l2", pf_cfg, adaptive=self.l2_adaptive, stats=self.pf_stats["l2"])
+                for _ in range(n)
+            ]
+        self.taxonomy = PrefetchTaxonomy()
+
+        if pf_cfg.placement not in ("cache", "stream_buffer"):
+            raise ValueError(f"unknown prefetch placement {pf_cfg.placement!r}")
+        self.stream_buffers = (
+            [StreamBufferPool(pf_cfg.stream_buffers, pf_cfg.stream_buffer_depth) for _ in range(n)]
+            if pf_cfg.placement == "stream_buffer"
+            else None
+        )
+        self.latency_hist: Dict[str, LatencyHistogram] = {
+            "l1i": LatencyHistogram(),
+            "l1d": LatencyHistogram(),
+            "l2_miss": LatencyHistogram(),
+        }
+        self._bank_free = [0.0] * config.l2.n_banks
+        self._l2_access_count = 0
+        self._adaptive = pf_cfg.adaptive and pf_cfg.enabled
+        # ISCA'04 adaptive compression: benefit/cost counter deciding
+        # whether newly-filled compressible lines are stored compressed.
+        self.compression_policy = AdaptiveCompressionPolicy(
+            miss_penalty=float(config.memory.latency_cycles),
+            decompression_penalty=float(config.l2.decompression_cycles),
+            enabled=config.l2.compressed and config.l2.adaptive_compression,
+        )
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+
+    def access(self, core: int, kind: int, addr: int, now: float) -> Tuple[float, bool]:
+        """Perform one demand access; returns (latency, l1_hit)."""
+        if kind == IFETCH:
+            l1, pf, stats = self.l1i[core], self.pf_l1i[core], self.l1i_stats
+        else:
+            l1, pf, stats = self.l1d[core], self.pf_l1d[core], self.l1d_stats
+
+        entry = l1.probe(addr)
+        if entry is not None:
+            result = self._l1_hit(core, kind, addr, now, l1, pf, stats, entry)
+        else:
+            result = self._l1_miss(core, kind, addr, now, l1, pf, stats)
+        self.latency_hist["l1i" if kind == IFETCH else "l1d"].record(result[0])
+        return result
+
+    def reset_stats(self) -> None:
+        """Zero all counters after warmup (cache/clock state is kept)."""
+        self.l1i_stats = CacheStats()
+        self.l1d_stats = CacheStats()
+        self.l2_stats = CacheStats()
+        for key in self.pf_stats:
+            fresh = PrefetchStats()
+            self.pf_stats[key] = fresh
+        for group in (self.pf_l1i, self.pf_l1d):
+            for p in group:
+                p.stats = self.pf_stats["l1i" if group is self.pf_l1i else "l1d"]
+        for p in self.pf_l2:
+            p.stats = self.pf_stats["l2"]
+        self.link.reset_stats()
+        self.noc.reset_stats()
+        self.taxonomy = PrefetchTaxonomy()
+        for key in self.latency_hist:
+            self.latency_hist[key] = LatencyHistogram()
+        if self.stream_buffers is not None:
+            for pool in self.stream_buffers:
+                pool.hits = pool.insertions = pool.overflows = 0
+        self.compression_stats = CompressionStats()
+        self.compression_stats.capacity_lines = self.l2.uncompressed_capacity_lines
+        self.dram.demand_requests = 0
+        self.dram.prefetch_requests = 0
+        self.dram.stalled_issues = 0
+
+    # ------------------------------------------------------------------
+    # L1 paths
+    # ------------------------------------------------------------------
+
+    def _l1_hit(self, core, kind, addr, now, l1, pf, stats, entry) -> Tuple[float, bool]:
+        level = "l1i" if kind == IFETCH else "l1d"
+        latency = 0.0
+        pure_hit = True
+        if entry.fill_time > now:
+            latency = entry.fill_time - now
+            pure_hit = False
+            if entry.prefetch_bit:
+                stats.partial_hits += 1
+                pf.adaptive.on_useful()
+                self.taxonomy.on_used(level)
+                entry.prefetch_bit = False
+        elif entry.prefetch_bit:
+            stats.prefetch_hits += 1
+            pf.stats.useful += 1
+            pf.adaptive.on_useful()
+            self.taxonomy.on_used(level)
+            entry.prefetch_bit = False
+        stats.demand_hits += 1
+        l1.touch(addr)
+
+        for p in pf.observe_hit(addr):
+            self._issue_l1_prefetch(core, kind, p, now)
+
+        if kind == STORE:
+            if entry.state == MSIState.SHARED:
+                latency += self._upgrade(core, addr, now)
+                entry.state = MSIState.MODIFIED
+                stats.upgrades += 1
+            entry.dirty = True
+        return latency, pure_hit
+
+    def _l1_miss(self, core, kind, addr, now, l1, pf, stats) -> Tuple[float, bool]:
+        stats.demand_misses += 1
+        if self._adaptive and l1.victim_match(addr) and l1.set_has_prefetched_line(addr):
+            pf.stats.harmful += 1
+            pf.adaptive.on_harmful()
+            self.taxonomy.on_victim_live("l1i" if kind == IFETCH else "l1d")
+
+        store = kind == STORE
+        l2_latency = self._l2_access(core, addr, now, store=store, demand=True)
+        total = self.config.l1i.hit_latency + l2_latency
+        if self.noc.enabled:
+            # The fill crosses the on-chip network from the L2 bank.
+            total = self.noc.transfer_line(core, now + total) - now
+        self._fill_l1(
+            core, kind, addr, store=store, prefetch=False, fill_time=now + total
+        )
+        for p in pf.observe_miss(addr):
+            self._issue_l1_prefetch(core, kind, p, now)
+        return total, False
+
+    def _fill_l1(self, core, kind, addr, *, store, prefetch, fill_time) -> None:
+        if kind == IFETCH:
+            l1, pf, stats = self.l1i[core], self.pf_l1i[core], self.l1i_stats
+        else:
+            l1, pf, stats = self.l1d[core], self.pf_l1d[core], self.l1d_stats
+        state = MSIState.MODIFIED if store else MSIState.SHARED
+        ev = l1.insert(
+            addr, state=state, dirty=store, prefetch=prefetch, fill_time=fill_time
+        )
+        l2e = self.l2.probe(addr)
+        if l2e is not None:
+            self.directory.add_sharer(l2e, core)
+            if store:
+                self.directory.set_owner(l2e, core)
+        if ev is not None:
+            self._handle_l1_eviction(core, ev, pf, stats, "l1i" if kind == IFETCH else "l1d")
+
+    def _handle_l1_eviction(self, core, ev: Eviction, pf, stats, level: str) -> None:
+        stats.evictions += 1
+        if ev.prefetch_untouched:
+            pf.stats.useless += 1
+            pf.adaptive.on_useless()
+            self.taxonomy.on_evicted_unused(level)
+        l2e = self.l2.probe(ev.addr)
+        if l2e is not None:
+            self.directory.remove_sharer(l2e, core)
+            if ev.dirty:
+                l2e.dirty = True
+                stats.writebacks += 1
+        elif ev.dirty:
+            # Inclusion normally prevents this; be safe and write to memory.
+            self.link.send_data(0.0, self.values.segments_for(ev.addr))
+            stats.writebacks += 1
+
+    def _upgrade(self, core: int, addr: int, now: float) -> float:
+        """S->M upgrade: consult the directory, invalidate other sharers."""
+        l2e = self.l2.probe(addr)
+        if l2e is None:  # lost to L2 eviction race; treat as cheap re-fetch
+            return self.config.l2.hit_latency
+        cost = self.config.l2.hit_latency
+        cost += self._invalidate_other_sharers(l2e, core)
+        self.directory.set_owner(l2e, core)
+        l2e.dirty = True
+        return cost
+
+    # ------------------------------------------------------------------
+    # L2 path
+    # ------------------------------------------------------------------
+
+    def _bank_delay(self, addr: int, now: float) -> float:
+        bank = self.l2.bank_of(addr)
+        start = max(now, self._bank_free[bank])
+        self._bank_free[bank] = start + _BANK_OCCUPANCY
+        return start - now
+
+    def _l2_access(
+        self,
+        core: int,
+        addr: int,
+        now: float,
+        *,
+        store: bool,
+        demand: bool,
+        prefetch: bool = False,
+        from_l1_prefetch: bool = False,
+    ) -> float:
+        """Access the shared L2; returns latency from ``now``.
+
+        ``demand``: a core is waiting on this access.
+        ``prefetch``/``from_l1_prefetch``: fills get prefetch bits and the
+        L2 prefetcher is triggered by L1-prefetch-induced misses too (the
+        paper "allows L1 prefetches to trigger L2 prefetches").
+        """
+        self._sample_effective_size()
+        bank_delay = self._bank_delay(addr, now)
+        l2cfg = self.config.l2
+        entry = self.l2.probe(addr)
+        pf2 = self.pf_l2[core]
+
+        if entry is not None:
+            latency = bank_delay + l2cfg.hit_latency
+            line_compressed = self.l2.compressed and entry.segments < SEGMENTS_PER_LINE
+            if line_compressed:
+                latency += l2cfg.decompression_cycles
+                self.l2_stats.compressed_hits += 1
+            if self.compression_policy.enabled:
+                self.compression_policy.on_hit(
+                    self.l2.stack_depth(addr), l2cfg.uncompressed_assoc, line_compressed
+                )
+            # The prefetch bit resets on the *first access* to the line —
+            # including an L1 prefetch consuming an L2-prefetched line
+            # (the L2 prefetch did provide the data the core later used).
+            first_access = demand or from_l1_prefetch
+            if entry.fill_time > now:
+                latency = max(latency, entry.fill_time - now)
+                if first_access and entry.prefetch_bit:
+                    self.l2_stats.partial_hits += 1
+                    self.l2_adaptive.on_useful()
+                    self.taxonomy.on_used("l2")
+                    entry.prefetch_bit = False
+            if first_access:
+                if demand:
+                    self.l2_stats.demand_hits += 1
+                if entry.prefetch_bit:
+                    self.l2_stats.prefetch_hits += 1
+                    self.pf_stats["l2"].useful += 1
+                    self.l2_adaptive.on_useful()
+                    self.taxonomy.on_used("l2")
+                entry.prefetch_bit = False
+            self.l2.touch(addr)
+
+            if store:
+                latency += self._invalidate_other_sharers(entry, core)
+                self.directory.set_owner(entry, core)
+                entry.dirty = True
+            elif entry.owner not in (-1, core):
+                # Dirty intervention: the owning L1 supplies the data.
+                self._downgrade_owner(entry)
+                latency += _INTERVENTION_COST
+            if demand or from_l1_prefetch:
+                self.directory.add_sharer(entry, core)
+
+            if demand:
+                for p in pf2.observe_hit(addr):
+                    self._issue_l2_prefetch(core, p, now)
+            return latency
+
+        # ---- L2 miss ----
+        if self.stream_buffers is not None and (demand or from_l1_prefetch):
+            hit = self._stream_buffer_hit(
+                core, addr, now, bank_delay, store=store, demand=demand,
+                from_l1_prefetch=from_l1_prefetch,
+            )
+            if hit is not None:
+                return hit
+        if demand:
+            self.l2_stats.demand_misses += 1
+            if (
+                self.config.prefetch.enabled
+                and self.l2.victim_match(addr)
+                and self.l2.set_has_prefetched_line(addr)
+            ):
+                self.taxonomy.on_victim_live("l2")
+                if self._adaptive:
+                    self.pf_stats["l2"].harmful += 1
+                    self.l2_adaptive.on_harmful()
+
+        data_done, segments = self._fetch_line(
+            core, addr, now + bank_delay + l2cfg.hit_latency, demand=demand
+        )
+        latency = data_done - now
+        if demand:
+            self.latency_hist["l2_miss"].record(latency)
+
+        self._fill_l2(
+            core,
+            addr,
+            segments,
+            now=now,
+            fill_time=data_done,
+            store=store,
+            demand=demand,
+            prefetch=prefetch,
+            from_l1_prefetch=from_l1_prefetch,
+        )
+        if demand or from_l1_prefetch:
+            for p in pf2.observe_miss(addr):
+                self._issue_l2_prefetch(core, p, now)
+        return latency
+
+    def _fetch_line(self, core: int, addr: int, request_ready: float, *, demand: bool):
+        """Fetch a line from memory: request pins -> DRAM -> data pins.
+
+        Returns ``(data_arrival_time, segments_as_stored)``.
+        """
+        segments = self.values.segments_for(addr)
+        if self.compression_policy.enabled and not self.compression_policy.should_compress():
+            segments = SEGMENTS_PER_LINE  # store uncompressed this phase
+        request_done = self.link.send_request(request_ready)
+        if demand:
+            mem_done = self.dram.issue_demand(core, request_done, addr)
+        else:
+            mem_done = self.dram.issue_prefetch(core, request_done, addr)
+        return self.link.send_data(mem_done, segments), segments
+
+    def _stream_buffer_hit(
+        self, core, addr, now, bank_delay, *, store, demand, from_l1_prefetch
+    ):
+        """Demand (or L1-prefetch) miss satisfied by the core's stream
+        buffers: promote the line into the L2 and count a prefetch hit.
+        Returns the latency, or None when the buffers miss too."""
+        entry = self.stream_buffers[core].take(addr)
+        if entry is None:
+            return None
+        latency = bank_delay + self.config.l2.hit_latency
+        latency = max(latency, entry.fill_time - now)
+        if demand:
+            self.l2_stats.prefetch_hits += 1
+            self.pf_stats["l2"].useful += 1
+            self.l2_adaptive.on_useful()
+            self.taxonomy.on_used("l2")
+        self._fill_l2(
+            core,
+            addr,
+            entry.segments,
+            now=now,
+            fill_time=now + latency,
+            store=store,
+            demand=demand,
+            prefetch=False,
+            from_l1_prefetch=from_l1_prefetch,
+        )
+        if demand:
+            for p in self.pf_l2[core].observe_hit(addr):
+                self._issue_l2_prefetch(core, p, now)
+        return latency
+
+    def _fill_l2(
+        self,
+        core,
+        addr,
+        segments,
+        *,
+        now,
+        fill_time,
+        store,
+        demand,
+        prefetch,
+        from_l1_prefetch,
+    ) -> None:
+        sharers = (1 << core) if (demand or from_l1_prefetch) else 0
+        owner = core if store else -1
+        state = MSIState.MODIFIED if store else MSIState.SHARED
+        self.note_line_compression(segments)
+        evictions = self.l2.insert(
+            addr,
+            segments,
+            dirty=store,
+            # Only L2-prefetcher fills carry the L2 prefetch bit; lines
+            # pulled in by an L1 prefetch are tracked by the L1 copy's bit.
+            prefetch=prefetch and not from_l1_prefetch,
+            fill_time=fill_time,
+            sharers=sharers,
+            owner=owner,
+            state=state,
+        )
+        for ev in evictions:
+            self._handle_l2_eviction(ev, now)
+
+    def _handle_l2_eviction(self, ev: Eviction, now: float) -> None:
+        self.l2_stats.evictions += 1
+        if ev.prefetch_untouched:
+            self.pf_stats["l2"].useless += 1
+            self.l2_adaptive.on_useless()
+            self.taxonomy.on_evicted_unused("l2")
+        dirty = ev.dirty
+        sharers = ev.sharers
+        core = 0
+        while sharers:
+            if sharers & 1:
+                for l1, pf, stats, level in (
+                    (self.l1i[core], self.pf_l1i[core], self.l1i_stats, "l1i"),
+                    (self.l1d[core], self.pf_l1d[core], self.l1d_stats, "l1d"),
+                ):
+                    l1ev = l1.invalidate(ev.addr)
+                    if l1ev is not None:
+                        stats.coherence_invalidations += 1
+                        dirty = dirty or l1ev.dirty
+                        if l1ev.prefetch_untouched:
+                            pf.stats.useless += 1
+                            pf.adaptive.on_useless()
+                            self.taxonomy.on_evicted_unused(level)
+            sharers >>= 1
+            core += 1
+        if dirty:
+            self.l2_stats.writebacks += 1
+            # Writebacks are compressed at the memory interface even when
+            # the L2 stored the line uncompressed (link compression is
+            # independent of cache compression in Figure 2's design).
+            self.link.send_data(now, self.values.segments_for(ev.addr))
+
+    # ------------------------------------------------------------------
+    # coherence helpers
+    # ------------------------------------------------------------------
+
+    def _invalidate_other_sharers(self, entry, core: int) -> float:
+        cost = 0.0
+        for sharer in list(self.directory.other_sharers(entry, core)):
+            for l1, stats in (
+                (self.l1i[sharer], self.l1i_stats),
+                (self.l1d[sharer], self.l1d_stats),
+            ):
+                l1ev = l1.invalidate(entry.addr)
+                if l1ev is not None:
+                    stats.coherence_invalidations += 1
+                    if l1ev.dirty:
+                        entry.dirty = True
+            self.directory.remove_sharer(entry, sharer)
+            cost = _INTERVENTION_COST
+        return cost
+
+    def _downgrade_owner(self, entry) -> None:
+        owner = entry.owner
+        for l1 in (self.l1i[owner], self.l1d[owner]):
+            l1e = l1.probe(entry.addr)
+            if l1e is not None and l1e.state == MSIState.MODIFIED:
+                l1e.state = MSIState.SHARED
+                l1e.dirty = False
+                entry.dirty = True
+        self.directory.clear_owner(entry)
+
+    # ------------------------------------------------------------------
+    # prefetch issue
+    # ------------------------------------------------------------------
+
+    def _issue_l1_prefetch(self, core: int, kind: int, addr: int, now: float) -> None:
+        if addr < 0:
+            return
+        l1 = self.l1i[core] if kind == IFETCH else self.l1d[core]
+        pf = self.pf_l1i[core] if kind == IFETCH else self.pf_l1d[core]
+        if l1.probe(addr) is not None:
+            return
+        if self.l2.probe(addr) is None and not self.dram.can_issue(core, now):
+            pf.stats.dropped += 1
+            return
+        pf.stats.issued += 1
+        self.taxonomy.on_issued("l1i" if kind == IFETCH else "l1d")
+        latency = self._l2_access(
+            core, addr, now, store=False, demand=False, prefetch=True, from_l1_prefetch=True
+        )
+        self._fill_l1(
+            core,
+            kind,
+            addr,
+            store=False,
+            prefetch=True,
+            fill_time=now + self.config.l1i.hit_latency + latency,
+        )
+
+    def _issue_l2_prefetch(self, core: int, addr: int, now: float) -> None:
+        if addr < 0:
+            return
+        pf_stats = self.pf_stats["l2"]
+        if self.l2.probe(addr) is not None:
+            return
+        if self.stream_buffers is not None and self.stream_buffers[core].contains(addr):
+            return
+        if not self.dram.can_issue(core, now):
+            pf_stats.dropped += 1
+            return
+        pf_stats.issued += 1
+        self.taxonomy.on_issued("l2")
+        if self.stream_buffers is not None:
+            # Pollution-free placement: the line waits beside the cache.
+            bank_delay = self._bank_delay(addr, now)
+            data_done, segments = self._fetch_line(
+                core, addr, now + bank_delay + self.config.l2.hit_latency, demand=False
+            )
+            self.stream_buffers[core].insert(addr, data_done, segments)
+            return
+        self._l2_access(core, addr, now, store=False, demand=False, prefetch=True)
+
+    # ------------------------------------------------------------------
+    # compression accounting
+    # ------------------------------------------------------------------
+
+    def _sample_effective_size(self) -> None:
+        self._l2_access_count += 1
+        if self._l2_access_count % _SAMPLE_EVERY == 0:
+            self.compression_stats.record_sample(self.l2.resident_lines())
+
+    def note_line_compression(self, segments: int) -> None:
+        if segments < SEGMENTS_PER_LINE:
+            self.compression_stats.compressed_lines += 1
+        else:
+            self.compression_stats.uncompressed_lines += 1
+        self.compression_stats.segment_sum += segments

@@ -1,0 +1,65 @@
+"""Interaction-cost arithmetic (Section 5, EQ 5).
+
+``Speedup(A,B) = Speedup(A) * Speedup(B) * (1 + Interaction(A,B))``
+
+A positive interaction means the combination beats the product of the
+individual speedups — the paper's central result for prefetching plus
+compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def speedup(base_runtime: float, enhanced_runtime: float) -> float:
+    """Runtime ratio; > 1 means the enhancement helps."""
+    if base_runtime <= 0 or enhanced_runtime <= 0:
+        raise ValueError("runtimes must be positive")
+    return base_runtime / enhanced_runtime
+
+
+def interaction_coefficient(s_both: float, s_a: float, s_b: float) -> float:
+    """EQ 5 solved for Interaction(A, B)."""
+    if s_a <= 0 or s_b <= 0 or s_both <= 0:
+        raise ValueError("speedups must be positive")
+    return s_both / (s_a * s_b) - 1.0
+
+
+@dataclass(frozen=True)
+class InteractionBreakdown:
+    """Table 5's rows for one workload."""
+
+    workload: str
+    speedup_a: float  # e.g. prefetching alone
+    speedup_b: float  # e.g. compression alone
+    speedup_ab: float  # both together
+
+    @property
+    def interaction(self) -> float:
+        return interaction_coefficient(self.speedup_ab, self.speedup_a, self.speedup_b)
+
+    @property
+    def positive(self) -> bool:
+        return self.interaction > 0
+
+    @staticmethod
+    def from_runtimes(
+        workload: str, base: float, with_a: float, with_b: float, with_both: float
+    ) -> "InteractionBreakdown":
+        return InteractionBreakdown(
+            workload=workload,
+            speedup_a=speedup(base, with_a),
+            speedup_b=speedup(base, with_b),
+            speedup_ab=speedup(base, with_both),
+        )
+
+    def row(self) -> str:
+        """Percent-improvement row in the paper's Table 5 format."""
+        return (
+            f"{self.workload:8s} "
+            f"pref={100 * (self.speedup_a - 1):+6.1f}% "
+            f"compr={100 * (self.speedup_b - 1):+6.1f}% "
+            f"both={100 * (self.speedup_ab - 1):+6.1f}% "
+            f"interaction={100 * self.interaction:+6.1f}%"
+        )

@@ -1,0 +1,88 @@
+"""Figure 8's L2 miss classification.
+
+The paper estimates, "by comparing cache miss profiles across simulations
+of different configurations and using set theory and the theory of
+inclusion and exclusion", how the base configuration's demand misses
+split into six classes.  We reproduce the same arithmetic from four runs
+(base, compression-only, prefetching-only, both):
+
+* misses avoided only by compression
+* misses avoided only by prefetching
+* misses avoided by either (the negative-interaction overlap)
+* misses avoided by neither
+* plus the prefetch traffic: prefetches still issued with compression on,
+  and prefetches that compression rendered unnecessary.
+
+Everything is normalised to the base configuration's demand misses
+(the figure's 100% line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class MissClassification:
+    workload: str
+    base_misses: int
+    unavoidable: float  # fraction of base misses avoided by neither
+    only_compression: float
+    only_prefetching: float
+    either: float  # avoidable by both techniques (negative interaction)
+    prefetches_remaining: float  # L2 prefetches issued even with compression
+    prefetches_avoided: float  # L2 prefetches compression eliminated
+
+    @property
+    def avoided_by_compression(self) -> float:
+        return self.only_compression + self.either
+
+    @property
+    def avoided_by_prefetching(self) -> float:
+        return self.only_prefetching + self.either
+
+    def rows(self) -> str:
+        return (
+            f"{self.workload:8s} unavoid={self.unavoidable * 100:5.1f}% "
+            f"onlyC={self.only_compression * 100:5.1f}% "
+            f"onlyP={self.only_prefetching * 100:5.1f}% "
+            f"either={self.either * 100:4.1f}% "
+            f"pf={self.prefetches_remaining * 100:5.1f}% "
+            f"pf_avoided={self.prefetches_avoided * 100:5.1f}%"
+        )
+
+
+def classify_misses(
+    base: SimulationResult,
+    compression: SimulationResult,
+    prefetching: SimulationResult,
+    both: SimulationResult,
+) -> MissClassification:
+    m0 = base.l2_demand_misses
+    if m0 <= 0:
+        raise ValueError("base run recorded no L2 demand misses")
+    avoided_c = max(m0 - compression.l2_demand_misses, 0)
+    avoided_p = max(m0 - prefetching.l2_demand_misses, 0)
+    avoided_union = max(m0 - both.l2_demand_misses, 0)
+    # Inclusion-exclusion: |C ∩ P| = |C| + |P| - |C ∪ P|, clamped to the
+    # feasible range because the four runs are independent simulations.
+    either = max(avoided_c + avoided_p - avoided_union, 0)
+    either = min(either, avoided_c, avoided_p)
+    only_c = avoided_c - either
+    only_p = avoided_p - either
+    unavoidable = max(m0 - (only_c + only_p + either), 0)
+
+    pf_alone = prefetching.prefetch["l2"].issued
+    pf_with_compr = both.prefetch["l2"].issued
+    return MissClassification(
+        workload=base.workload,
+        base_misses=m0,
+        unavoidable=unavoidable / m0,
+        only_compression=only_c / m0,
+        only_prefetching=only_p / m0,
+        either=either / m0,
+        prefetches_remaining=pf_with_compr / m0,
+        prefetches_avoided=max(pf_alone - pf_with_compr, 0) / m0,
+    )

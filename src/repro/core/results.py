@@ -1,0 +1,116 @@
+"""Simulation results: the metrics every table and figure is built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.stats.counters import CacheStats, CompressionStats, LinkStats, PrefetchStats
+
+
+@dataclass
+class PrefetcherReport:
+    """Table 4's three columns for one prefetcher level."""
+
+    rate_per_1000: float
+    coverage: float
+    accuracy: float
+    issued: int
+    useful: int
+    useless: int
+    harmful: int
+    dropped: int
+
+
+@dataclass
+class SimulationResult:
+    workload: str
+    config_name: str
+    seed: int
+    elapsed_cycles: float
+    instructions: int
+    l1i: CacheStats
+    l1d: CacheStats
+    l2: CacheStats
+    prefetch: Dict[str, PrefetchStats]
+    link: LinkStats
+    compression: CompressionStats
+    clock_ghz: float
+    events: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+    taxonomy: Dict[str, "object"] = field(default_factory=dict)  # level -> TaxonomyCounts
+    latency: Dict[str, Dict[str, float]] = field(default_factory=dict)  # histogram summaries
+
+    # -- headline metrics ----------------------------------------------------
+
+    @property
+    def runtime(self) -> float:
+        """Cycles to complete the fixed measurement workload; the paper's
+        speedups are runtime ratios at equal work."""
+        return self.elapsed_cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.elapsed_cycles if self.elapsed_cycles else 0.0
+
+    def speedup_vs(self, base: "SimulationResult") -> float:
+        if self.elapsed_cycles <= 0:
+            raise ValueError("cannot compute a speedup from a zero-length run")
+        return base.elapsed_cycles / self.elapsed_cycles
+
+    # -- EQ 1: bandwidth demand -----------------------------------------------
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.link.demand_gbs(self.elapsed_cycles, self.clock_ghz)
+
+    @property
+    def uncompressed_equiv_bandwidth_gbs(self) -> float:
+        """What the same traffic would demand with link compression off:
+        every data message's payload re-inflated to the full 64 bytes."""
+        from repro.params import LINE_BYTES
+
+        total = (
+            self.link.bytes_total
+            - self.link.bytes_data
+            + LINE_BYTES * self.link.data_messages
+        )
+        return total / self.elapsed_cycles * self.clock_ghz if self.elapsed_cycles else 0.0
+
+    # -- cache metrics ---------------------------------------------------------
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2.miss_rate
+
+    @property
+    def l2_demand_misses(self) -> int:
+        return self.l2.demand_misses
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.compression.compression_ratio
+
+    # -- Table 4 ---------------------------------------------------------------
+
+    def prefetcher_report(self, level: str) -> PrefetcherReport:
+        stats = self.prefetch[level]
+        misses = {"l1i": self.l1i, "l1d": self.l1d, "l2": self.l2}[level].demand_misses
+        return PrefetcherReport(
+            rate_per_1000=stats.prefetch_rate(self.instructions),
+            coverage=stats.coverage(misses),
+            accuracy=stats.accuracy,
+            issued=stats.issued,
+            useful=stats.useful,
+            useless=stats.useless,
+            harmful=stats.harmful,
+            dropped=stats.dropped,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload:8s} {self.config_name:16s} "
+            f"cycles={self.elapsed_cycles:12.0f} ipc={self.ipc:5.2f} "
+            f"l2mr={self.l2_miss_rate * 100:5.1f}% bw={self.bandwidth_gbs:6.2f}GB/s "
+            f"ratio={self.compression_ratio:4.2f}"
+        )

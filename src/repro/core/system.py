@@ -1,0 +1,155 @@
+"""CMPSystem: the assembled machine plus its workload.
+
+This is the library's main entry object: construct one from a
+:class:`SystemConfig` and a workload name (or spec), then
+:meth:`run` it for a number of trace events per core.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Union
+
+from repro.core.hierarchy import MemoryHierarchy
+from repro.core.results import SimulationResult
+from repro.cpu.core import CoreTimingModel
+from repro.params import SystemConfig
+from repro.workloads.base import TraceGenerator, WorkloadSpec
+from repro.workloads.registry import get_spec
+from repro.workloads.values import ValueModel
+
+
+class CMPSystem:
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: Union[str, WorkloadSpec, None] = None,
+        seed: int = 0,
+        trace: "object" = None,
+    ) -> None:
+        """Build the machine around either a live workload generator
+        (``workload``) or a recorded trace (``trace``, a
+        :class:`repro.trace.TracePack`); a trace replays identical work
+        under every configuration.
+        """
+        if (workload is None) == (trace is None):
+            raise ValueError("provide exactly one of workload or trace")
+        self.config = config
+        if trace is not None:
+            if trace.n_cores != config.n_cores:
+                raise ValueError(
+                    f"trace has {trace.n_cores} cores, config has {config.n_cores}"
+                )
+            self.spec = get_spec(trace.workload)
+            seed = trace.header.seed
+        else:
+            self.spec = get_spec(workload) if isinstance(workload, str) else workload
+        self.seed = seed
+        self.values = ValueModel(self.spec.value_mix, seed=seed, scheme=config.l2.scheme)
+        self.hierarchy = MemoryHierarchy(config, self.values)
+        self.cores: List[CoreTimingModel] = [
+            CoreTimingModel(i, cpi_base=self.spec.cpi_base, tolerance=self.spec.tolerance)
+            for i in range(config.n_cores)
+        ]
+        if trace is not None:
+            self._generators = [trace.iterator(i) for i in range(config.n_cores)]
+        else:
+            self._generators = [
+                TraceGenerator(
+                    self.spec,
+                    core_id=i,
+                    n_cores=config.n_cores,
+                    l2_lines=config.l2.n_lines,
+                    l1i_lines=config.l1i.n_lines,
+                    seed=seed,
+                ).events()
+                for i in range(config.n_cores)
+            ]
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        events_per_core: int,
+        warmup_events: Optional[int] = None,
+        config_name: Optional[str] = None,
+    ) -> SimulationResult:
+        """Warm up, reset stats, measure, and return the result.
+
+        Cores are interleaved on a min-heap of local clocks so shared
+        resources see causally-ordered contention, mirroring how GEMS
+        interleaves processors at cycle granularity.
+        """
+        if events_per_core <= 0:
+            raise ValueError("events_per_core must be positive")
+        if warmup_events is None:
+            warmup_events = events_per_core // 2
+        if warmup_events:
+            self._run_events(warmup_events)
+        self.reset_stats()
+        self._run_events(events_per_core)
+        return self.collect(config_name or self.config.describe(), events_per_core)
+
+    def _run_events(self, events_per_core: int) -> None:
+        heap = [(core.time, i) for i, core in enumerate(self.cores)]
+        heapq.heapify(heap)
+        remaining = [events_per_core] * len(self.cores)
+        gens = self._generators
+        cores = self.cores
+        access = self.hierarchy.access
+        push, pop = heapq.heappush, heapq.heappop
+        while heap:
+            _, idx = pop(heap)
+            core = cores[idx]
+            gap, kind, addr = next(gens[idx])
+            if gap:
+                core.advance_compute(gap)
+            latency, l1_hit = access(idx, kind, addr, core.time)
+            core.apply_memory_latency(latency, l1_hit=l1_hit)
+            if kind == 0:
+                core.stats.ifetch_accesses += 1
+            else:
+                core.stats.data_accesses += 1
+            self._events_processed += 1
+            remaining[idx] -= 1
+            if remaining[idx] > 0:
+                push(heap, (core.time, idx))
+
+    def reset_stats(self) -> None:
+        self.hierarchy.reset_stats()
+        for core in self.cores:
+            core.reset_stats()
+
+    def collect(self, config_name: str, events_per_core: int) -> SimulationResult:
+        h = self.hierarchy
+        elapsed = max(core.stats.cycles for core in self.cores)
+        instructions = sum(core.stats.instructions for core in self.cores)
+        return SimulationResult(
+            workload=self.spec.name,
+            config_name=config_name,
+            seed=self.seed,
+            elapsed_cycles=elapsed,
+            instructions=instructions,
+            l1i=h.l1i_stats,
+            l1d=h.l1d_stats,
+            l2=h.l2_stats,
+            prefetch=dict(h.pf_stats),
+            link=h.link.stats,
+            compression=h.compression_stats,
+            clock_ghz=self.config.clock_ghz,
+            events=events_per_core * self.config.n_cores,
+            extra={
+                "link_occupancy": h.link.occupancy(elapsed),
+                "dram_demand": float(h.dram.demand_requests),
+                "dram_prefetch": float(h.dram.prefetch_requests),
+                "l2_adaptive_counter": float(h.l2_adaptive.counter),
+                "n_cores": float(self.config.n_cores),
+                # Mean per-core stall cycles, comparable to elapsed_cycles.
+                "memory_stall_cycles": sum(
+                    c.stats.memory_stall_cycles for c in self.cores
+                ) / len(self.cores),
+            },
+            taxonomy={name: h.taxonomy.level(name) for name in ("l1i", "l1d", "l2")},
+            latency={name: hist.summary() for name, hist in h.latency_hist.items()},
+        )

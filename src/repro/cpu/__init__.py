@@ -1,0 +1,5 @@
+"""Core timing model."""
+
+from repro.cpu.core import CoreTimingModel
+
+__all__ = ["CoreTimingModel"]

@@ -1,0 +1,19 @@
+"""Message kinds crossing the pin interface.
+
+Sizes come from :class:`repro.compression.link.MessageSizer`; this module
+just names the kinds so traffic accounting and tests stay readable.
+"""
+
+from __future__ import annotations
+
+
+class MessageKind:
+    REQUEST = "request"  # address/command, header-only
+    DATA_RESPONSE = "data"  # memory -> chip cache line
+    WRITEBACK = "writeback"  # chip -> memory dirty line
+
+    ALL = (REQUEST, DATA_RESPONSE, WRITEBACK)
+
+    @staticmethod
+    def carries_data(kind: str) -> bool:
+        return kind in (MessageKind.DATA_RESPONSE, MessageKind.WRITEBACK)

@@ -1,0 +1,5 @@
+"""Off-chip DRAM model."""
+
+from repro.memory.dram import DRAM
+
+__all__ = ["DRAM"]

@@ -1,0 +1,15 @@
+"""Power4-style stride prefetching and the paper's adaptive throttle."""
+
+from repro.prefetch.filter_table import FilterTable, StrideDetector
+from repro.prefetch.stream_table import Stream, StreamTable
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.adaptive import AdaptiveController
+
+__all__ = [
+    "FilterTable",
+    "StrideDetector",
+    "Stream",
+    "StreamTable",
+    "StridePrefetcher",
+    "AdaptiveController",
+]

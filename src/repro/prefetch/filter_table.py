@@ -1,0 +1,133 @@
+"""Stride filter tables (the Power4 front end of the prefetcher).
+
+Each prefetcher owns three 32-entry filter tables — positive unit
+stride, negative unit stride, and non-unit stride (Table 1).  A miss
+stream graduates to the stream table once ``confirm_misses`` (4) misses
+with a fixed stride have been observed:
+
+1. the first miss to a region parks in a *seed* list;
+2. a second miss within ``max_nonunit_stride`` lines establishes the
+   stride and allocates a filter entry (2 confirmations);
+3. each further miss at ``last + stride`` advances the entry;
+4. at 4 confirmations the detector reports the stream for allocation.
+
+Entries are keyed by the next address they expect, so matching is O(1);
+the seed scan is bounded by the seed capacity (32).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+POSITIVE_UNIT = "positive_unit"
+NEGATIVE_UNIT = "negative_unit"
+NON_UNIT = "non_unit"
+
+
+def classify_stride(stride: int, max_nonunit: int) -> Optional[str]:
+    """Which filter table a stride belongs to, or None if out of range."""
+    if stride == 1:
+        return POSITIVE_UNIT
+    if stride == -1:
+        return NEGATIVE_UNIT
+    if stride != 0 and abs(stride) <= max_nonunit:
+        return NON_UNIT
+    return None
+
+
+@dataclass
+class _FilterEntry:
+    stride: int
+    count: int
+
+
+class FilterTable:
+    """One stride class: LRU dict keyed by the next expected miss address."""
+
+    def __init__(self, kind: str, capacity: int) -> None:
+        self.kind = kind
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, _FilterEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def match(self, addr: int) -> Optional[_FilterEntry]:
+        """Pop-and-return the entry expecting ``addr`` (if any)."""
+        return self._entries.pop(addr, None)
+
+    def allocate(self, expected_addr: int, stride: int, count: int) -> None:
+        if expected_addr in self._entries:
+            del self._entries[expected_addr]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)  # evict LRU
+        self._entries[expected_addr] = _FilterEntry(stride=stride, count=count)
+
+
+class StrideDetector:
+    """Seeds + the three filter tables; reports streams ready to allocate."""
+
+    def __init__(
+        self,
+        filter_entries: int = 32,
+        confirm_misses: int = 4,
+        max_nonunit_stride: int = 64,
+        seed_entries: int = 32,
+    ) -> None:
+        if confirm_misses < 3:
+            raise ValueError("stride confirmation needs at least 3 misses")
+        self.confirm_misses = confirm_misses
+        self.max_nonunit_stride = max_nonunit_stride
+        self.seed_entries = seed_entries
+        self.tables = {
+            kind: FilterTable(kind, filter_entries)
+            for kind in (POSITIVE_UNIT, NEGATIVE_UNIT, NON_UNIT)
+        }
+        self._seeds: "OrderedDict[int, None]" = OrderedDict()
+
+    def observe_miss(self, addr: int) -> Optional[Tuple[int, int]]:
+        """Feed one miss (line address).
+
+        Returns ``(addr, stride)`` when a stream has just been confirmed,
+        else None.
+        """
+        for table in self.tables.values():
+            entry = table.match(addr)
+            if entry is None:
+                continue
+            entry.count += 1
+            if entry.count >= self.confirm_misses:
+                return addr, entry.stride
+            table.allocate(addr + entry.stride, entry.stride, entry.count)
+            return None
+
+        seed = self._find_seed(addr)
+        if seed is not None:
+            stride = addr - seed
+            kind = classify_stride(stride, self.max_nonunit_stride)
+            if kind is not None:
+                del self._seeds[seed]
+                self.tables[kind].allocate(addr + stride, stride, 2)
+                return None
+
+        self._add_seed(addr)
+        return None
+
+    def _find_seed(self, addr: int) -> Optional[int]:
+        """Most recent seed within stride range of ``addr``."""
+        max_stride = self.max_nonunit_stride
+        for seed in reversed(self._seeds):
+            stride = addr - seed
+            if stride != 0 and -max_stride <= stride <= max_stride:
+                return seed
+        return None
+
+    def _add_seed(self, addr: int) -> None:
+        if addr in self._seeds:
+            self._seeds.move_to_end(addr)
+            return
+        if len(self._seeds) >= self.seed_entries:
+            self._seeds.popitem(last=False)
+        self._seeds[addr] = None

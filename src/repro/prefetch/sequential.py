@@ -1,0 +1,80 @@
+"""Adaptive sequential (next-line) prefetching — the Dahlgren baseline.
+
+Dahlgren, Dubois & Stenström (IEEE TPDS 1995) proposed unit-stride
+sequential prefetching whose *degree* (how many next lines to fetch on a
+miss) adapts to measured usefulness.  The paper cites it as the classic
+adaptive alternative to its own compression-tag-based throttle, so we
+implement it as a drop-in baseline: same ``observe_miss`` /
+``observe_hit`` interface as :class:`repro.prefetch.stride.StridePrefetcher`.
+
+Mechanism: on every miss, prefetch the next ``degree`` sequential lines.
+Usefulness is counted by the same prefetch-bit machinery the hierarchy
+already maintains (the controller's useful/useless events); periodically
+the degree is raised when the useful fraction is high and lowered when
+low, between 0 (off) and ``max_degree``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.params import PrefetchConfig
+from repro.prefetch.adaptive import AdaptiveController
+from repro.stats.counters import PrefetchStats
+
+_EPOCH_EVENTS = 64  # useful+useless events per degree adjustment
+_RAISE_THRESHOLD = 0.75
+_LOWER_THRESHOLD = 0.40
+
+
+class SequentialPrefetcher:
+    def __init__(
+        self,
+        level: str,
+        config: PrefetchConfig,
+        adaptive: AdaptiveController = None,
+        stats: PrefetchStats = None,
+    ) -> None:
+        if level not in ("l1", "l2"):
+            raise ValueError(f"unknown prefetcher level: {level!r}")
+        self.level = level
+        self.config = config
+        self.max_degree = 2 if level == "l1" else 4
+        self.degree = self.max_degree if not config.adaptive else 1
+        # Reuse the AdaptiveController purely as the useful/useless event
+        # sink so the hierarchy can stay prefetcher-agnostic.
+        self.adaptive = adaptive or AdaptiveController(config.counter_max, enabled=False)
+        self.stats = stats if stats is not None else PrefetchStats()
+        self._last_useful = 0
+        self._last_useless = 0
+
+    def observe_miss(self, line_addr: int) -> List[int]:
+        if not self.config.enabled:
+            return []
+        self._maybe_adjust()
+        if self.degree == 0:
+            return []
+        self.stats.streams_allocated += 1
+        return [line_addr + i for i in range(1, self.degree + 1)]
+
+    def observe_hit(self, line_addr: int) -> List[int]:
+        if not self.config.enabled:
+            return []
+        self._maybe_adjust()
+        return []
+
+    def _maybe_adjust(self) -> None:
+        if not self.config.adaptive:
+            return
+        useful = self.adaptive.useful_events - self._last_useful
+        useless = self.adaptive.useless_events - self._last_useless
+        total = useful + useless
+        if total < _EPOCH_EVENTS:
+            return
+        fraction = useful / total
+        if fraction >= _RAISE_THRESHOLD and self.degree < self.max_degree:
+            self.degree += 1
+        elif fraction < _LOWER_THRESHOLD and self.degree > 0:
+            self.degree -= 1
+        self._last_useful = self.adaptive.useful_events
+        self._last_useless = self.adaptive.useless_events

@@ -1,0 +1,74 @@
+"""Stream buffers: prefetch placement outside the cache (Jouppi, ISCA'90).
+
+The paper's adaptive mechanism fights prefetch *pollution* — useless
+prefetches evicting live lines.  The classic alternative sidesteps
+pollution entirely: prefetched lines wait in small FIFO buffers beside
+the cache and are promoted into it only on a demand hit.  The cost is
+capacity (a handful of entries vs. thousands of cache lines) and lost
+prefetch depth.
+
+This module provides the buffer pool; the hierarchy consults it on L2
+misses when ``PrefetchConfig.placement == "stream_buffer"`` and inserts
+L2-prefetcher fills into it instead of the cache.  Comparing the two
+placements on jbb quantifies how much of the adaptive scheme's benefit
+is pollution avoidance versus bandwidth throttling.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class _BufferEntry:
+    __slots__ = ("addr", "fill_time", "segments")
+
+    def __init__(self, addr: int, fill_time: float, segments: int) -> None:
+        self.addr = addr
+        self.fill_time = fill_time
+        self.segments = segments
+
+
+class StreamBufferPool:
+    """A per-core pool of prefetched lines awaiting demand.
+
+    Modeled as one associative FIFO of ``buffers * depth`` entries —
+    hardware organises this as N independent FIFOs, but with the
+    prefetcher already tracking streams separately the aggregate
+    capacity is what matters for hit behaviour.
+    """
+
+    def __init__(self, buffers: int = 4, depth: int = 4) -> None:
+        if buffers <= 0 or depth <= 0:
+            raise ValueError("buffers and depth must be positive")
+        self.capacity = buffers * depth
+        self._entries: "OrderedDict[int, _BufferEntry]" = OrderedDict()
+        self.hits = 0
+        self.insertions = 0
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, addr: int, fill_time: float, segments: int) -> None:
+        if addr in self._entries:
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)  # FIFO: drop the oldest
+            self.overflows += 1
+        self._entries[addr] = _BufferEntry(addr, fill_time, segments)
+        self.insertions += 1
+
+    def take(self, addr: int) -> Optional[_BufferEntry]:
+        """Demand hit: remove and return the entry (it moves to the cache)."""
+        entry = self._entries.pop(addr, None)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def contains(self, addr: int) -> bool:
+        return addr in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.insertions if self.insertions else 0.0

@@ -1,0 +1,73 @@
+"""Stream tables: confirmed strided streams that issue prefetches.
+
+Upon allocation a stream launches ``startup`` consecutive prefetches
+along its stride (Table 1: at most 6 for L1 prefetchers, 25 for the L2
+prefetcher).  After that, each demand access that matches the stream's
+expected next address advances the stream and issues one more prefetch
+at the frontier, maintaining the run-ahead distance.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+
+class Stream:
+    __slots__ = ("stride", "next_demand", "frontier")
+
+    def __init__(self, start_addr: int, stride: int, frontier: int) -> None:
+        self.stride = stride
+        self.next_demand = start_addr + stride
+        self.frontier = frontier
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Stream stride={self.stride} next={self.next_demand:#x} frontier={self.frontier:#x}>"
+
+
+class StreamTable:
+    """LRU table of active streams, keyed by expected next demand address."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = capacity
+        self._streams: "OrderedDict[int, Stream]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def allocate(self, addr: int, stride: int, startup: int) -> List[int]:
+        """Allocate a stream confirmed at ``addr``; return startup prefetches."""
+        if startup <= 0:
+            return []
+        prefetches = [addr + stride * i for i in range(1, startup + 1)]
+        stream = Stream(addr, stride, frontier=prefetches[-1])
+        self._evict_if_full()
+        self._rekey(stream)
+        return prefetches
+
+    def advance(self, addr: int) -> Optional[List[int]]:
+        """If ``addr`` matches a stream's expected demand, advance it.
+
+        Returns the (single-element) list of new frontier prefetches, or
+        None when no stream matched.
+        """
+        stream = self._streams.pop(addr, None)
+        if stream is None:
+            return None
+        stream.next_demand = addr + stream.stride
+        stream.frontier += stream.stride
+        self._rekey(stream)
+        return [stream.frontier]
+
+    def active_streams(self) -> List[Stream]:
+        return list(self._streams.values())
+
+    def _rekey(self, stream: Stream) -> None:
+        # A hash collision on next_demand simply replaces the older stream,
+        # mirroring limited-capacity stream-table aliasing in hardware.
+        self._streams.pop(stream.next_demand, None)
+        self._streams[stream.next_demand] = stream
+
+    def _evict_if_full(self) -> None:
+        while len(self._streams) >= self.capacity:
+            self._streams.popitem(last=False)

@@ -1,0 +1,77 @@
+"""The per-cache stride prefetcher: detector + stream table + throttle.
+
+Each core has three of these (L1I, L1D, L2 — Table 1); the L2 ones are
+per-core rather than shared "to reduce stream interference".  The
+prefetcher is purely a *policy* object: it observes line addresses and
+returns lists of line addresses to prefetch.  The memory hierarchy
+decides what issuing a prefetch costs and feeds back useful / useless /
+harmful events through the :class:`AdaptiveController`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.params import PrefetchConfig
+from repro.prefetch.adaptive import AdaptiveController
+from repro.prefetch.filter_table import StrideDetector
+from repro.prefetch.stream_table import StreamTable
+from repro.stats.counters import PrefetchStats
+
+
+class StridePrefetcher:
+    def __init__(
+        self,
+        level: str,
+        config: PrefetchConfig,
+        adaptive: "AdaptiveController" = None,
+        stats: "PrefetchStats" = None,
+    ) -> None:
+        """``adaptive`` and ``stats`` may be shared across prefetchers:
+        the paper uses a *single* counter for the shared L2 cache, driven
+        by all eight per-core L2 prefetchers, and Table 4 reports stats
+        per level, not per core.
+        """
+        if level not in ("l1", "l2"):
+            raise ValueError(f"unknown prefetcher level: {level!r}")
+        self.level = level
+        self.config = config
+        self.max_startup = config.l1_startup if level == "l1" else config.l2_startup
+        self.detector = StrideDetector(
+            filter_entries=config.filter_entries,
+            confirm_misses=config.confirm_misses,
+            max_nonunit_stride=config.max_nonunit_stride,
+        )
+        self.streams = StreamTable(config.stream_entries)
+        self.adaptive = adaptive or AdaptiveController(config.counter_max, enabled=config.adaptive)
+        self.stats = stats if stats is not None else PrefetchStats()
+
+    def observe_miss(self, line_addr: int) -> List[int]:
+        """Feed a demand miss; may confirm a stream and return prefetches."""
+        if not self.config.enabled:
+            return []
+        advanced = self._advance(line_addr)
+        confirmed = self.detector.observe_miss(line_addr)
+        if confirmed is None:
+            return advanced
+        addr, stride = confirmed
+        startup = self.adaptive.startup_count(self.max_startup)
+        self.stats.throttled += self.max_startup - startup
+        prefetches = self.streams.allocate(addr, stride, startup)
+        if prefetches:
+            self.stats.streams_allocated += 1
+        return advanced + prefetches
+
+    def observe_hit(self, line_addr: int) -> List[int]:
+        """Feed a demand hit; a stream match keeps its run-ahead distance."""
+        if not self.config.enabled:
+            return []
+        return self._advance(line_addr)
+
+    def _advance(self, line_addr: int) -> List[int]:
+        # Stream advances are not throttled: an allocated stream proved
+        # itself accurate enough to be confirmed, and its run-ahead is a
+        # single line.  Throttling acts on startup bursts (and, at zero,
+        # on allocation itself, save for the probe trickle).
+        advanced = self.streams.advance(line_addr)
+        return advanced or []

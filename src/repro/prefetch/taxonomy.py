@@ -1,0 +1,107 @@
+"""Srinivasan, Davidson & Tyson's prefetch taxonomy (IEEE TC 2004).
+
+Section 3 of the paper motivates the adaptive mechanism with this
+taxonomy: a prefetch's outcome depends on whether the *prefetched block*
+is used before eviction and whether its *victim* was still live.  Only
+two of the nine cases reduce misses; the rest add traffic and possibly
+misses.  We track the observable approximation the simulator can see:
+
+==================== =========================== =====================
+prefetched block     victim                      classification
+==================== =========================== =====================
+used                 dead (never re-missed)      **useful** (miss removed)
+used                 live (re-missed soon)       **useful-but-polluting**
+unused, evicted      dead                        **useless** (traffic only)
+unused, evicted      live                        **harmful** (miss added)
+still resident       —                           **pending**
+==================== =========================== =====================
+
+"Victim live" is detected the same way the adaptive mechanism does: a
+subsequent miss matches a victim-tag address while the set holds (or
+held) prefetched lines.  The tracker consumes the event stream the
+hierarchy already produces, so enabling it costs almost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TaxonomyCounts:
+    useful: int = 0
+    useful_polluting: int = 0
+    useless: int = 0
+    harmful: int = 0
+    issued: int = 0
+
+    @property
+    def resolved(self) -> int:
+        return self.useful + self.useful_polluting + self.useless + self.harmful
+
+    @property
+    def pending(self) -> int:
+        return max(self.issued - self.resolved, 0)
+
+    def fraction(self, name: str) -> float:
+        if not self.resolved:
+            return 0.0
+        return getattr(self, name) / self.resolved
+
+
+class PrefetchTaxonomy:
+    """Aggregates hierarchy events into Srinivasan's categories.
+
+    The hierarchy reports four primitive events per cache level:
+    ``issued``, ``used`` (demand hit on a prefetch bit), ``evicted_unused``
+    (replacement victimised an un-referenced prefetched line), and
+    ``victim_was_live`` (a miss matched a victim tag in a prefetch-active
+    set).  Live-victim evidence arrives *after* the use/evict event it
+    belongs to, so the tracker attributes it to the most recent resolved
+    outcome of the matching class — the same conservative attribution the
+    paper's counter uses.
+    """
+
+    def __init__(self) -> None:
+        self._levels: Dict[str, TaxonomyCounts] = {}
+
+    def level(self, name: str) -> TaxonomyCounts:
+        return self._levels.setdefault(name, TaxonomyCounts())
+
+    # -- primitive events ----------------------------------------------------
+
+    def on_issued(self, level: str) -> None:
+        self.level(level).issued += 1
+
+    def on_used(self, level: str) -> None:
+        self.level(level).useful += 1
+
+    def on_evicted_unused(self, level: str) -> None:
+        self.level(level).useless += 1
+
+    def on_victim_live(self, level: str) -> None:
+        """A miss proved some prefetch's victim was still needed."""
+        counts = self.level(level)
+        # Reclassify one prior outcome as its polluting/harmful variant.
+        if counts.useless > 0:
+            counts.useless -= 1
+            counts.harmful += 1
+        elif counts.useful > 0:
+            counts.useful -= 1
+            counts.useful_polluting += 1
+        else:
+            counts.harmful += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self) -> str:
+        lines = []
+        for name in sorted(self._levels):
+            c = self._levels[name]
+            lines.append(
+                f"{name}: issued={c.issued} useful={c.useful} "
+                f"useful-polluting={c.useful_polluting} useless={c.useless} "
+                f"harmful={c.harmful} pending={c.pending}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Result presentation: aligned tables, ASCII bar charts, CSV/JSON export."""
+
+from repro.report.tables import Table
+from repro.report.charts import bar_chart, grouped_bar_chart
+from repro.report.export import result_to_dict, results_to_csv, results_to_json
+
+__all__ = [
+    "Table",
+    "bar_chart",
+    "grouped_bar_chart",
+    "result_to_dict",
+    "results_to_csv",
+    "results_to_json",
+]

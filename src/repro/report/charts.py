@@ -1,0 +1,77 @@
+"""ASCII bar charts, so benches and examples can render paper figures in
+a terminal without any plotting dependency."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    unit: str = "",
+    zero_origin: bool = True,
+) -> str:
+    """One horizontal bar per key.  Negative values draw to the left of a
+    shared origin so slowdowns are visually distinct from speedups."""
+    if not values:
+        raise ValueError("nothing to chart")
+    lo = min(values.values())
+    hi = max(values.values())
+    if zero_origin:
+        lo, hi = min(lo, 0.0), max(hi, 0.0)
+    span = hi - lo or 1.0
+    label_w = max(len(k) for k in values)
+    origin = round((0.0 - lo) / span * width)
+    lines = []
+    for key, value in values.items():
+        pos = round((value - lo) / span * width)
+        if value >= 0:
+            bar = " " * origin + "#" * max(pos - origin, 0 if value == 0 else 1)
+        else:
+            bar = " " * pos + "#" * (origin - pos)
+        lines.append(f"{key.ljust(label_w)} |{bar.ljust(width)}| {value:+.1f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """A labelled section of bars per group (one group per workload,
+    one bar per configuration — the shape of most paper figures)."""
+    if not groups:
+        raise ValueError("nothing to chart")
+    flat: Dict[str, float] = {}
+    sections = []
+    all_values = [v for series in groups.values() for v in series.values()]
+    lo = min(min(all_values), 0.0)
+    hi = max(max(all_values), 0.0)
+    span = hi - lo or 1.0
+    label_w = max(len(k) for series in groups.values() for k in series)
+    origin = round((0.0 - lo) / span * width)
+    for group, series in groups.items():
+        lines = [f"{group}:"]
+        for key, value in series.items():
+            pos = round((value - lo) / span * width)
+            if value >= 0:
+                bar = " " * origin + "#" * max(pos - origin, 0 if value == 0 else 1)
+            else:
+                bar = " " * pos + "#" * (origin - pos)
+            lines.append(f"  {key.ljust(label_w)} |{bar.ljust(width)}| {value:+.1f}{unit}")
+        sections.append("\n".join(lines))
+    del flat
+    return "\n\n".join(sections)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Compact trend glyphs for a numeric series (e.g. counter history)."""
+    if not values:
+        raise ValueError("nothing to chart")
+    glyphs = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    return "".join(glyphs[int((v - lo) / span * (len(glyphs) - 1))] for v in values)

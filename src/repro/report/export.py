@@ -1,0 +1,66 @@
+"""Export simulation results to JSON / CSV for external analysis."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List
+
+from repro.core.results import SimulationResult
+
+#: The flat metric set every exported row carries.
+EXPORT_FIELDS = (
+    "workload",
+    "config",
+    "seed",
+    "elapsed_cycles",
+    "instructions",
+    "ipc",
+    "l1i_miss_rate",
+    "l1d_miss_rate",
+    "l2_miss_rate",
+    "l2_demand_misses",
+    "bandwidth_gbs",
+    "compression_ratio",
+    "link_bytes",
+    "pf_l2_issued",
+    "pf_l2_coverage",
+    "pf_l2_accuracy",
+)
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    l2_report = result.prefetcher_report("l2")
+    return {
+        "workload": result.workload,
+        "config": result.config_name,
+        "seed": result.seed,
+        "elapsed_cycles": result.elapsed_cycles,
+        "instructions": result.instructions,
+        "ipc": result.ipc,
+        "l1i_miss_rate": result.l1i.miss_rate,
+        "l1d_miss_rate": result.l1d.miss_rate,
+        "l2_miss_rate": result.l2.miss_rate,
+        "l2_demand_misses": result.l2.demand_misses,
+        "bandwidth_gbs": result.bandwidth_gbs,
+        "compression_ratio": result.compression_ratio,
+        "link_bytes": result.link.bytes_total,
+        "pf_l2_issued": l2_report.issued,
+        "pf_l2_coverage": l2_report.coverage,
+        "pf_l2_accuracy": l2_report.accuracy,
+    }
+
+
+def results_to_json(results: Iterable[SimulationResult], indent: int = 2) -> str:
+    return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+def results_to_csv(results: Iterable[SimulationResult]) -> str:
+    rows: List[Dict[str, object]] = [result_to_dict(r) for r in results]
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=list(EXPORT_FIELDS))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return out.getvalue()

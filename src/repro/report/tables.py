@@ -1,0 +1,67 @@
+"""Aligned plain-text tables for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+class Table:
+    """A simple right-aligned numeric table with a left-aligned key column.
+
+    >>> t = Table(["workload", "speedup"])
+    >>> t.add_row(["zeus", 1.213])
+    >>> print(t.render())       # doctest: +NORMALIZE_WHITESPACE
+    workload   speedup
+    --------   -------
+    zeus         1.213
+    """
+
+    def __init__(self, columns: Sequence[str], float_format: str = "{:.3f}") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.float_format = float_format
+        self._rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence[Cell]) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells; table has {len(self.columns)} columns"
+            )
+        self._rows.append([self._format(c) for c in cells])
+
+    def _format(self, cell: Cell) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return self.float_format.format(cell)
+        return str(cell)
+
+    def render(self, separator: str = "   ") -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        header = separator.join(
+            c.ljust(widths[i]) if i == 0 else c.rjust(widths[i])
+            for i, c in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append(separator.join(("-" * widths[i]) for i in range(len(widths))))
+        for row in self._rows:
+            lines.append(
+                separator.join(
+                    cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                    for i, cell in enumerate(row)
+                )
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __str__(self) -> str:
+        return self.render()

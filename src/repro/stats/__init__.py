@@ -1,0 +1,21 @@
+"""Statistics substrate: counter bundles and confidence intervals."""
+
+from repro.stats.counters import (
+    CacheStats,
+    CompressionStats,
+    CoreStats,
+    LinkStats,
+    PrefetchStats,
+)
+from repro.stats.confidence import ConfidenceInterval, mean_ci, summarize
+
+__all__ = [
+    "CacheStats",
+    "CompressionStats",
+    "CoreStats",
+    "LinkStats",
+    "PrefetchStats",
+    "ConfidenceInterval",
+    "mean_ci",
+    "summarize",
+]

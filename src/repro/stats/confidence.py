@@ -1,0 +1,72 @@
+"""Mean and 95% confidence intervals across seeded runs.
+
+The paper (Section 4.1, citing Alameldeen & Wood HPCA'03) runs each data
+point multiple times with perturbations and reports the mean and a 95%
+confidence interval to account for space variability in multithreaded
+workloads.  We do the same across trace-generator seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+# Two-sided 95% Student-t critical values for small sample sizes
+# (index = degrees of freedom); falls back to the normal 1.96 beyond 30.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+def t95(dof: int) -> float:
+    if dof < 1:
+        raise ValueError("need at least 2 samples for a confidence interval")
+    return _T95.get(dof, 1.96)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def mean_ci(samples: Sequence[float]) -> ConfidenceInterval:
+    """Mean with a 95% Student-t confidence interval.
+
+    A single sample gets a zero-width interval (the paper's single-run
+    degenerate case); two or more use the t distribution.
+    """
+    n = len(samples)
+    if n == 0:
+        raise ValueError("mean_ci requires at least one sample")
+    mean = sum(samples) / n
+    if n == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, n=1)
+    var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    half = t95(n - 1) * math.sqrt(var / n)
+    return ConfidenceInterval(mean=mean, half_width=half, n=n)
+
+
+def summarize(samples: Sequence[float]) -> str:
+    return str(mean_ci(samples))

@@ -1,0 +1,149 @@
+"""Per-component statistics counters.
+
+These are deliberately plain mutable dataclasses: the simulator's inner
+loop bumps attributes directly, and derived metrics (miss rates, the
+paper's EQ 2-4 prefetch metrics, EQ 1 bandwidth demand) are computed
+lazily as properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache (or one level aggregated)."""
+
+    demand_hits: int = 0
+    demand_misses: int = 0
+    partial_hits: int = 0  # demand access to a still-in-flight prefetch
+    prefetch_hits: int = 0  # first demand touch of a completed prefetch
+    compressed_hits: int = 0  # hits that paid the decompression penalty
+    writebacks: int = 0
+    evictions: int = 0
+    upgrades: int = 0  # S->M coherence upgrades
+    coherence_invalidations: int = 0
+
+    @property
+    def demand_accesses(self) -> int:
+        return self.demand_hits + self.demand_misses
+
+    @property
+    def miss_rate(self) -> float:
+        accesses = self.demand_accesses
+        return self.demand_misses / accesses if accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+
+@dataclass
+class PrefetchStats:
+    """EQ 2-4 inputs for one prefetcher."""
+
+    issued: int = 0
+    dropped: int = 0  # outstanding-request limit reached
+    useful: int = 0  # prefetched line demanded before eviction
+    useless: int = 0  # prefetched line evicted untouched
+    harmful: int = 0  # victim-tag match implicating a prefetch
+    streams_allocated: int = 0
+    throttled: int = 0  # prefetches suppressed by the adaptive counter
+
+    def prefetch_rate(self, instructions: int) -> float:
+        """EQ 2: prefetches per 1000 instructions."""
+        return 1000.0 * self.issued / instructions if instructions else 0.0
+
+    def coverage(self, demand_misses: int) -> float:
+        """EQ 3: fraction of would-be misses covered by prefetching."""
+        denom = self.useful + demand_misses
+        return self.useful / denom if denom else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """EQ 4: fraction of issued prefetches that were useful."""
+        return self.useful / self.issued if self.issued else 0.0
+
+    def merge(self, other: "PrefetchStats") -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+
+@dataclass
+class LinkStats:
+    """Traffic accounting on the pin link."""
+
+    bytes_total: int = 0
+    bytes_data: int = 0
+    bytes_header: int = 0
+    messages: int = 0
+    data_messages: int = 0
+    flits: int = 0
+    queue_cycles: float = 0.0  # total cycles messages waited for the link
+    uncompressed_equiv_bytes: int = 0  # what the same traffic would cost w/o link compression
+
+    def demand_gbs(self, elapsed_cycles: float, clock_ghz: float) -> float:
+        """EQ 1 evaluated on observed traffic: GB/s of pin demand."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return self.bytes_total / elapsed_cycles * clock_ghz
+
+    def merge(self, other: "LinkStats") -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+
+@dataclass
+class CoreStats:
+    """Per-core retirement and timing accounting."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    memory_stall_cycles: float = 0.0
+    data_accesses: int = 0
+    ifetch_accesses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def merge(self, other: "CoreStats") -> None:
+        self.instructions += other.instructions
+        self.cycles = max(self.cycles, other.cycles)
+        self.memory_stall_cycles += other.memory_stall_cycles
+        self.data_accesses += other.data_accesses
+        self.ifetch_accesses += other.ifetch_accesses
+
+
+@dataclass
+class CompressionStats:
+    """Effective-capacity tracking for the compressed L2 (Table 3)."""
+
+    samples: int = 0
+    lines_held_sum: int = 0
+    capacity_lines: int = 0
+    compressed_lines: int = 0
+    uncompressed_lines: int = 0
+    segment_sum: int = 0
+
+    def record_sample(self, lines_held: int) -> None:
+        self.samples += 1
+        self.lines_held_sum += lines_held
+
+    @property
+    def avg_resident_lines(self) -> float:
+        """Mean lines held across samples (0 when never sampled)."""
+        return self.lines_held_sum / self.samples if self.samples else 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Average effective cache size relative to uncompressed capacity."""
+        if not self.samples or not self.capacity_lines:
+            return 1.0
+        return self.avg_resident_lines / self.capacity_lines
+
+    @property
+    def avg_segments_per_line(self) -> float:
+        total = self.compressed_lines + self.uncompressed_lines
+        return self.segment_sum / total if total else 8.0

@@ -1,0 +1,78 @@
+"""Log-scale latency histograms.
+
+Mean latencies hide the bursts that make prefetching hurt; a histogram
+of demand-access latencies shows the queuing tail directly.  Buckets are
+powers of two (0, 1, 2-3, 4-7, ...), cheap enough for the simulator's
+hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class LatencyHistogram:
+    __slots__ = ("_buckets", "count", "total")
+
+    MAX_BUCKET = 24  # 2^24 cycles: far beyond any sane latency
+
+    def __init__(self) -> None:
+        self._buckets = [0] * (self.MAX_BUCKET + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, latency: float) -> None:
+        value = int(latency)
+        bucket = value.bit_length() if value > 0 else 0
+        if bucket > self.MAX_BUCKET:
+            bucket = self.MAX_BUCKET
+        self._buckets[bucket] += 1
+        self.count += 1
+        self.total += latency
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket containing the p-th percentile."""
+        if not 0.0 < p <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        if not self.count:
+            return 0.0
+        threshold = self.count * p / 100.0
+        running = 0
+        for bucket, n in enumerate(self._buckets):
+            running += n
+            if running >= threshold:
+                return float((1 << bucket) - 1) if bucket else 0.0
+        return float((1 << self.MAX_BUCKET) - 1)
+
+    def buckets(self) -> List[Tuple[str, int]]:
+        """Non-empty buckets as (range-label, count)."""
+        out = []
+        for bucket, n in enumerate(self._buckets):
+            if not n:
+                continue
+            if bucket == 0:
+                label = "0"
+            else:
+                low, high = 1 << (bucket - 1), (1 << bucket) - 1
+                label = f"{low}-{high}"
+            out.append((label, n))
+        return out
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for i, n in enumerate(other._buckets):
+            self._buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }

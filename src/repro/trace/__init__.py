@@ -1,0 +1,13 @@
+"""Trace recording and replay."""
+
+from repro.trace.format import TRACE_MAGIC, TraceHeader
+from repro.trace.io import TracePack, TraceReader, TraceWriter, record_trace
+
+__all__ = [
+    "TRACE_MAGIC",
+    "TraceHeader",
+    "TracePack",
+    "TraceReader",
+    "TraceWriter",
+    "record_trace",
+]

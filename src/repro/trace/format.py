@@ -1,0 +1,71 @@
+"""On-disk trace format.
+
+A trace file holds the *filtered* event stream of every core of one
+workload instance: ``(instr_gap, kind, line_addr)`` triples, exactly what
+:class:`repro.workloads.base.TraceGenerator` yields.  Recording a trace
+freezes the workload so different configurations replay identical work —
+and lets externally-captured traces (converted to this format) drive the
+simulator instead of the synthetic generators.
+
+Layout (all little-endian):
+
+========  =====================================================
+offset    content
+========  =====================================================
+0         magic ``b"RPTR"``
+4         u16 version (currently 1)
+6         u16 n_cores
+8         u32 events_per_core
+12        u32 seed
+16        u16 workload-name length, then UTF-8 name
+...       per core, ``events_per_core`` packed events
+========  =====================================================
+
+Each event packs to 13 bytes: u32 gap, u8 kind, u64 line address.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+TRACE_MAGIC = b"RPTR"
+TRACE_VERSION = 1
+EVENT_STRUCT = struct.Struct("<IBQ")
+_HEADER_STRUCT = struct.Struct("<4sHHII")
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    workload: str
+    n_cores: int
+    events_per_core: int
+    seed: int
+    version: int = TRACE_VERSION
+
+    def encode(self) -> bytes:
+        name = self.workload.encode("utf-8")
+        if len(name) > 0xFFFF:
+            raise ValueError("workload name too long")
+        fixed = _HEADER_STRUCT.pack(
+            TRACE_MAGIC, self.version, self.n_cores, self.events_per_core, self.seed
+        )
+        return fixed + struct.pack("<H", len(name)) + name
+
+    @staticmethod
+    def decode(stream) -> "TraceHeader":
+        fixed = stream.read(_HEADER_STRUCT.size)
+        if len(fixed) != _HEADER_STRUCT.size:
+            raise ValueError("truncated trace header")
+        magic, version, n_cores, events_per_core, seed = _HEADER_STRUCT.unpack(fixed)
+        if magic != TRACE_MAGIC:
+            raise ValueError(f"not a repro trace (magic {magic!r})")
+        if version != TRACE_VERSION:
+            raise ValueError(f"unsupported trace version {version}")
+        (name_len,) = struct.unpack("<H", stream.read(2))
+        name = stream.read(name_len).decode("utf-8")
+        if n_cores <= 0 or events_per_core <= 0:
+            raise ValueError("corrupt trace header")
+        return TraceHeader(
+            workload=name, n_cores=n_cores, events_per_core=events_per_core, seed=seed
+        )

@@ -1,0 +1,135 @@
+"""Trace writer, reader, and in-memory trace packs."""
+
+from __future__ import annotations
+
+import gzip
+import itertools
+from pathlib import Path
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from repro.trace.format import EVENT_STRUCT, TraceHeader
+from repro.workloads.base import IFETCH, LOAD, STORE, TraceGenerator
+from repro.workloads.registry import get_spec
+
+Event = Tuple[int, int, int]
+_VALID_KINDS = (IFETCH, LOAD, STORE)
+
+
+def _open(path: Union[str, Path], mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+class TraceWriter:
+    """Write a complete per-core event matrix to disk."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def write(self, header: TraceHeader, per_core_events: Sequence[Sequence[Event]]) -> None:
+        if len(per_core_events) != header.n_cores:
+            raise ValueError("event matrix does not match header core count")
+        for events in per_core_events:
+            if len(events) != header.events_per_core:
+                raise ValueError("event list does not match header event count")
+        pack = EVENT_STRUCT.pack
+        with _open(self.path, "wb") as out:
+            out.write(header.encode())
+            for events in per_core_events:
+                for gap, kind, addr in events:
+                    if kind not in _VALID_KINDS:
+                        raise ValueError(f"invalid event kind {kind}")
+                    out.write(pack(gap, kind, addr))
+
+
+class TraceReader:
+    """Read a trace file back into a :class:`TracePack`."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def read(self) -> "TracePack":
+        with _open(self.path, "rb") as stream:
+            header = TraceHeader.decode(stream)
+            unpack = EVENT_STRUCT.unpack
+            size = EVENT_STRUCT.size
+            cores: List[List[Event]] = []
+            for _ in range(header.n_cores):
+                events: List[Event] = []
+                for _ in range(header.events_per_core):
+                    raw = stream.read(size)
+                    if len(raw) != size:
+                        raise ValueError("truncated trace body")
+                    events.append(unpack(raw))
+                cores.append(events)
+        return TracePack(header, cores)
+
+
+class TracePack:
+    """A fully-materialised trace: header + per-core event lists.
+
+    Feed it to :class:`repro.core.system.CMPSystem` via the ``trace``
+    argument; every configuration then replays identical work.
+    """
+
+    def __init__(self, header: TraceHeader, per_core_events: Sequence[Sequence[Event]]) -> None:
+        self.header = header
+        self.per_core_events = [list(e) for e in per_core_events]
+
+    @property
+    def workload(self) -> str:
+        return self.header.workload
+
+    @property
+    def n_cores(self) -> int:
+        return self.header.n_cores
+
+    @property
+    def events_per_core(self) -> int:
+        return self.header.events_per_core
+
+    def iterator(self, core: int) -> Iterator[Event]:
+        """Endless per-core event stream (wraps around at the end, so
+        warmup + measurement longer than the recording still works)."""
+        return itertools.cycle(self.per_core_events[core])
+
+    def save(self, path: Union[str, Path]) -> None:
+        TraceWriter(path).write(self.header, self.per_core_events)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "TracePack":
+        return TraceReader(path).read()
+
+
+def record_trace(
+    workload: str,
+    *,
+    n_cores: int = 8,
+    events_per_core: int = 20_000,
+    seed: int = 0,
+    l2_lines: int = 16_384,
+    l1i_lines: int = 256,
+) -> TracePack:
+    """Generate a workload's synthetic trace and freeze it in memory.
+
+    ``l2_lines``/``l1i_lines`` size the footprints exactly as a live
+    :class:`CMPSystem` would (they default to the scale-4 system).
+    """
+    spec = get_spec(workload)
+    cores: List[List[Event]] = []
+    for core in range(n_cores):
+        gen = TraceGenerator(
+            spec,
+            core_id=core,
+            n_cores=n_cores,
+            l2_lines=l2_lines,
+            l1i_lines=l1i_lines,
+            seed=seed,
+        )
+        cores.append(list(itertools.islice(gen.events(), events_per_core)))
+    header = TraceHeader(
+        workload=workload, n_cores=n_cores, events_per_core=events_per_core, seed=seed
+    )
+    return TracePack(header, cores)

@@ -1,0 +1,19 @@
+"""Synthetic workload generators calibrated to the paper's eight benchmarks."""
+
+from repro.workloads.base import IFETCH, LOAD, STORE, TraceGenerator, WorkloadSpec
+from repro.workloads.values import VALUE_CLASSES, ValueModel
+from repro.workloads.registry import WORKLOADS, commercial_names, scientific_names, get_spec
+
+__all__ = [
+    "IFETCH",
+    "LOAD",
+    "STORE",
+    "TraceGenerator",
+    "WorkloadSpec",
+    "VALUE_CLASSES",
+    "ValueModel",
+    "WORKLOADS",
+    "commercial_names",
+    "scientific_names",
+    "get_spec",
+]

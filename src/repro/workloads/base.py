@@ -1,0 +1,215 @@
+"""Trace event types, workload specs, and the per-core trace generator.
+
+Each trace event is one *line-touching* memory access: ``(instr_gap,
+kind, line_addr)``, meaning the core executes ``instr_gap`` instructions
+(which includes all the same-line accesses that trivially hit the L1)
+and then touches a new-to-the-pipeline cache line.  This filtered-trace
+representation is what lets a Python simulator cover billions of
+simulated instructions: the instruction gap carries the cheap work, the
+events carry everything the memory system cares about.
+
+The generator composes four behaviours whose proportions define a
+workload:
+
+* **instruction fetch** — the PC walks sequential code lines inside an
+  instruction footprint, jumping with ``i_jump_prob`` per data event to a
+  locality-weighted target (commercial codes: multi-hundred-KB
+  footprints that miss the L1I; SPEComp loops: a few lines that never do);
+* **strided streams** — ``streams_per_core`` active streams walk the
+  private region with strides drawn from ``stream_strides`` for
+  ``stream_length`` lines before re-seeding (long streams ⇒ accurate
+  prefetching, short streams ⇒ 25-deep startup overshoot, the paper's
+  jbb problem);
+* **irregular accesses** — locality-weighted (heavy-tail) references to
+  the private or shared region (``idx = N·u^locality``: larger exponent
+  ⇒ hotter head, higher cache hit rates);
+* **stores** — a fraction of data accesses write, driving MSI upgrades
+  and invalidations in the shared region.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+IFETCH, LOAD, STORE = 0, 1, 2
+
+# Disjoint line-address regions (line addresses, i.e. byte addr >> 6).
+# The per-core spacing includes a large prime so different cores' private
+# regions land at different L2 set offsets — a power-of-two spacing would
+# alias every core's region onto the same sets and waste half the cache.
+_I_BASE = (1 << 40) + 104729
+_SHARED_BASE = (2 << 40) + 15485863
+_PRIVATE_BASE = 3 << 40
+_PRIVATE_STRIDE = (1 << 36) + 32452843  # per-core private region spacing
+
+_INSTR_PER_LINE = 16  # 64-byte line / 4-byte instructions
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything that distinguishes one benchmark from another.
+
+    Footprints are expressed relative to cache capacities so the same
+    spec drives full-scale and scaled-down systems with identical
+    capacity ratios (see DESIGN.md's substitution table).
+    """
+
+    name: str
+    # data footprint
+    ws_factor: float  # total data region / L2 uncompressed lines
+    locality: float  # heavy-tail exponent for irregular accesses (>=1)
+    # strided streams
+    stride_fraction: float
+    stream_length: int
+    stream_strides: Tuple[Tuple[int, float], ...]
+    streams_per_core: int
+    # access mix
+    store_fraction: float
+    shared_fraction: float  # prob. an irregular access targets shared data
+    # instruction stream
+    i_footprint_l1i_factor: float  # instruction footprint / L1I lines
+    i_jump_prob: float
+    i_locality: float
+    instr_per_event: float
+    # core model
+    tolerance: float
+    cpi_base: float
+    # data compressibility
+    value_mix: Tuple[Tuple[str, float], ...]
+    description: str = ""
+    # per-core hot set: the stack/heap-top slice that gives real programs
+    # their high L1 hit rates, decoupling L1 locality from L2 capacity
+    # behaviour.  Accessed uniformly; part of the private region.
+    hot_fraction: float = 0.45
+    hot_l1d_factor: float = 0.5  # hot-set size / L1D lines
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.stride_fraction <= 1.0:
+            raise ValueError("stride_fraction must be in [0, 1]")
+        if not 0.0 <= self.store_fraction <= 1.0:
+            raise ValueError("store_fraction must be in [0, 1]")
+        if not 0.0 <= self.shared_fraction <= 1.0:
+            raise ValueError("shared_fraction must be in [0, 1]")
+        if self.locality < 1.0 or self.i_locality < 1.0:
+            raise ValueError("locality exponents must be >= 1")
+        if self.stream_length < 1 or self.streams_per_core < 1:
+            raise ValueError("streams must have positive length and count")
+        if self.instr_per_event <= 0:
+            raise ValueError("instr_per_event must be positive")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.stride_fraction + self.hot_fraction > 1.0:
+            raise ValueError("stride_fraction + hot_fraction must not exceed 1")
+
+
+class _StreamState:
+    __slots__ = ("pos", "stride", "remaining")
+
+    def __init__(self) -> None:
+        self.pos = 0
+        self.stride = 1
+        self.remaining = 0
+
+
+class TraceGenerator:
+    """Per-core, seeded, infinite event stream for one workload."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        core_id: int,
+        n_cores: int,
+        l2_lines: int,
+        l1i_lines: int,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= core_id < n_cores:
+            raise ValueError("core_id out of range")
+        self.spec = spec
+        self.core_id = core_id
+        self.n_cores = n_cores
+        self.rng = random.Random((seed * 1_000_003 + core_id) ^ 0xC0FFEE)
+
+        total_data = max(int(spec.ws_factor * l2_lines), n_cores * 64)
+        self.shared_lines = max(int(total_data * spec.shared_fraction), 16)
+        self.private_lines = max((total_data - self.shared_lines) // n_cores, 64)
+        self.private_base = _PRIVATE_BASE + core_id * _PRIVATE_STRIDE
+        self.hot_lines = max(min(int(spec.hot_l1d_factor * l1i_lines),
+                                 self.private_lines // 2), 8)
+        self.i_lines = max(int(spec.i_footprint_l1i_factor * l1i_lines), 4)
+
+        self._pc_line = 0  # line offset within the instruction footprint
+        self._instr_into_line = 0
+        self._stride_choices = [s for s, _ in spec.stream_strides]
+        self._stride_weights = [w for _, w in spec.stream_strides]
+        self._streams = [self._seed_stream(_StreamState()) for _ in range(spec.streams_per_core)]
+
+    # -- public -------------------------------------------------------------
+
+    def events(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield (instr_gap, kind, line_addr) forever."""
+        rng = self.rng
+        spec = self.spec
+        pending: List[Tuple[int, int, int]] = []
+        while True:
+            while pending:
+                yield pending.pop()
+            gap = self._draw_gap()
+            # Instruction-side: advance the PC, jump occasionally, emit an
+            # IFETCH for every new code line entered.
+            if rng.random() < spec.i_jump_prob:
+                u = rng.random()
+                self._pc_line = int(self.i_lines * (u ** spec.i_locality))
+                self._instr_into_line = 0
+                pending.append((0, IFETCH, _I_BASE + self._pc_line))
+            self._instr_into_line += gap
+            crossed = self._instr_into_line // _INSTR_PER_LINE
+            if crossed:
+                self._instr_into_line %= _INSTR_PER_LINE
+                # Emit at most 2 fetch events per gap; a long sequential run
+                # touches each line once, and the gap rarely spans more.
+                for i in range(min(crossed, 2)):
+                    self._pc_line = (self._pc_line + 1) % self.i_lines
+                    pending.append((0, IFETCH, _I_BASE + self._pc_line))
+            # Data-side: one access per step.
+            addr = self._data_address()
+            kind = STORE if rng.random() < spec.store_fraction else LOAD
+            yield (gap, kind, addr)
+
+    # -- internals ------------------------------------------------------------
+
+    def _draw_gap(self) -> int:
+        """Geometric-ish gap with the configured mean, at least 1."""
+        mean = self.spec.instr_per_event
+        return 1 + int(self.rng.expovariate(1.0 / mean)) if mean > 1 else 1
+
+    def _data_address(self) -> int:
+        rng = self.rng
+        spec = self.spec
+        r = rng.random()
+        if r < spec.stride_fraction:
+            return self._stream_address()
+        if r < spec.stride_fraction + spec.hot_fraction:
+            return self.private_base + rng.randrange(self.hot_lines)
+        if rng.random() < spec.shared_fraction:
+            idx = int(self.shared_lines * (rng.random() ** spec.locality))
+            return _SHARED_BASE + idx
+        idx = int(self.private_lines * (rng.random() ** spec.locality))
+        return self.private_base + idx
+
+    def _stream_address(self) -> int:
+        stream = self._streams[self.rng.randrange(len(self._streams))]
+        if stream.remaining <= 0:
+            self._seed_stream(stream)
+        addr = self.private_base + (stream.pos % self.private_lines)
+        stream.pos += stream.stride
+        stream.remaining -= 1
+        return addr
+
+    def _seed_stream(self, stream: _StreamState) -> _StreamState:
+        stream.pos = self.rng.randrange(self.private_lines)
+        stream.stride = self.rng.choices(self._stride_choices, self._stride_weights)[0]
+        stream.remaining = self.spec.stream_length
+        return stream

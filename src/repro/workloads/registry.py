@@ -1,0 +1,34 @@
+"""Workload registry: names -> specs, in the paper's presentation order."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.commercial import COMMERCIAL
+from repro.workloads.scientific import SCIENTIFIC
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in (*COMMERCIAL, *SCIENTIFIC)
+}
+
+
+def commercial_names() -> List[str]:
+    return [spec.name for spec in COMMERCIAL]
+
+
+def scientific_names() -> List[str]:
+    return [spec.name for spec in SCIENTIFIC]
+
+
+def all_names() -> List[str]:
+    return list(WORKLOADS)
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {', '.join(WORKLOADS)}"
+        ) from None

@@ -1,0 +1,46 @@
+"""Shared fixtures: tiny configurations that keep unit tests fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import CacheConfig, L2Config, LinkConfig, MemoryConfig, PrefetchConfig, SystemConfig
+
+
+@pytest.fixture
+def tiny_l1() -> CacheConfig:
+    # 16 lines, 2-way, 8 sets
+    return CacheConfig(size_bytes=1024, assoc=2, hit_latency=3)
+
+
+@pytest.fixture
+def tiny_l2() -> L2Config:
+    # 256 lines uncompressed, 64 sets, 2 banks
+    return L2Config(size_bytes=16 * 1024, n_banks=2, compressed=True)
+
+
+@pytest.fixture
+def tiny_system() -> SystemConfig:
+    return SystemConfig(
+        n_cores=2,
+        l1i=CacheConfig(size_bytes=1024, assoc=2),
+        l1d=CacheConfig(size_bytes=1024, assoc=2),
+        l2=L2Config(size_bytes=16 * 1024, n_banks=2),
+        link=LinkConfig(bandwidth_gbs=20.0),
+        memory=MemoryConfig(),
+        prefetch=PrefetchConfig(),
+    )
+
+
+def make_tiny_system(**overrides) -> SystemConfig:
+    base = SystemConfig(
+        n_cores=2,
+        l1i=CacheConfig(size_bytes=1024, assoc=2),
+        l1d=CacheConfig(size_bytes=1024, assoc=2),
+        l2=L2Config(size_bytes=16 * 1024, n_banks=2),
+    )
+    if not overrides:
+        return base
+    from dataclasses import replace
+
+    return replace(base, **overrides)

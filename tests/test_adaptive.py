@@ -1,0 +1,92 @@
+"""Tests for the adaptive prefetch throttle (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prefetch.adaptive import AdaptiveController
+
+
+class TestCounter:
+    def test_starts_at_max(self):
+        c = AdaptiveController(counter_max=16)
+        assert c.counter == 16
+
+    def test_saturates_high(self):
+        c = AdaptiveController(counter_max=4)
+        for _ in range(10):
+            c.on_useful()
+        assert c.counter == 4
+
+    def test_saturates_low(self):
+        c = AdaptiveController(counter_max=4)
+        for _ in range(10):
+            c.on_useless()
+        assert c.counter == 0
+
+    def test_harmful_also_decrements(self):
+        c = AdaptiveController(counter_max=4)
+        c.on_harmful()
+        assert c.counter == 3
+
+    def test_event_totals_always_recorded(self):
+        c = AdaptiveController(enabled=False)
+        c.on_useful()
+        c.on_useless()
+        c.on_harmful()
+        assert (c.useful_events, c.useless_events, c.harmful_events) == (1, 1, 1)
+        assert c.counter == c.counter_max  # disabled: counter frozen
+
+    def test_invalid_max_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveController(counter_max=0)
+
+
+class TestStartupScaling:
+    def test_full_counter_full_startup(self):
+        c = AdaptiveController(counter_max=16)
+        assert c.startup_count(25) == 25
+
+    def test_half_counter_half_startup(self):
+        c = AdaptiveController(counter_max=16)
+        for _ in range(8):
+            c.on_useless()
+        assert c.startup_count(24) == 12
+
+    def test_low_counter_trickles_at_least_one(self):
+        c = AdaptiveController(counter_max=16)
+        for _ in range(15):
+            c.on_useless()
+        assert c.counter == 1
+        assert c.startup_count(6) == 1  # 6*1//16 == 0, floor-clamped to 1
+
+    def test_disabled_controller_never_throttles(self):
+        c = AdaptiveController(enabled=False)
+        for _ in range(100):
+            c.on_useless()
+        assert c.startup_count(25) == 25
+
+    def test_prefetching_disabled_at_zero(self):
+        c = AdaptiveController(counter_max=2)
+        c.on_useless()
+        c.on_useless()
+        assert not c.prefetching_enabled
+
+
+class TestProbeTrickle:
+    def test_zero_counter_probes_periodically(self):
+        c = AdaptiveController(counter_max=2)
+        c.on_useless()
+        c.on_useless()
+        startups = [c.startup_count(25) for _ in range(AdaptiveController.PROBE_INTERVAL * 3)]
+        assert startups.count(1) == 3
+        assert startups.count(0) == len(startups) - 3
+
+    def test_recovery_after_probe_success(self):
+        c = AdaptiveController(counter_max=4)
+        for _ in range(4):
+            c.on_useless()
+        assert c.counter == 0
+        c.on_useful()  # a probe prefetch got used
+        assert c.counter == 1
+        assert c.prefetching_enabled

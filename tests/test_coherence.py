@@ -1,0 +1,102 @@
+"""Tests for MSI transitions and the in-tag directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.line import MSIState, TagEntry
+from repro.coherence.directory import Directory
+from repro.coherence.msi import LEGAL_TRANSITIONS, check_transition, next_state
+
+I, S, M = MSIState.INVALID, MSIState.SHARED, MSIState.MODIFIED
+
+
+class TestMSITable:
+    def test_read_miss_fills_shared(self):
+        assert next_state(I, "load") == S
+
+    def test_write_miss_fills_modified(self):
+        assert next_state(I, "store") == M
+
+    def test_upgrade(self):
+        assert next_state(S, "store") == M
+
+    def test_remote_store_invalidates(self):
+        assert next_state(S, "inval") == I
+        assert next_state(M, "inval") == I
+
+    def test_remote_load_downgrades_owner(self):
+        assert next_state(M, "downgrade") == S
+
+    def test_illegal_transition_raises(self):
+        with pytest.raises(ValueError):
+            next_state(I, "inval")
+
+    def test_check_transition(self):
+        assert check_transition(S, "store", M)
+        assert not check_transition(S, "store", S)
+
+    def test_every_entry_stays_in_msi(self):
+        for (frm, _), to in LEGAL_TRANSITIONS.items():
+            assert frm in (I, S, M) and to in (I, S, M)
+
+
+class TestDirectory:
+    def test_add_and_query_sharers(self):
+        d = Directory(4)
+        e = TagEntry()
+        d.add_sharer(e, 0)
+        d.add_sharer(e, 3)
+        assert d.is_sharer(e, 0) and d.is_sharer(e, 3)
+        assert not d.is_sharer(e, 1)
+        assert sorted(d.sharers(e)) == [0, 3]
+
+    def test_remove_sharer(self):
+        d = Directory(4)
+        e = TagEntry()
+        d.add_sharer(e, 2)
+        d.remove_sharer(e, 2)
+        assert not d.is_sharer(e, 2)
+
+    def test_set_owner_clears_other_sharers(self):
+        d = Directory(4)
+        e = TagEntry()
+        d.add_sharer(e, 0)
+        d.add_sharer(e, 1)
+        d.set_owner(e, 1)
+        assert e.owner == 1
+        assert sorted(d.sharers(e)) == [1]
+
+    def test_remove_owner_clears_ownership(self):
+        d = Directory(2)
+        e = TagEntry()
+        d.set_owner(e, 0)
+        d.remove_sharer(e, 0)
+        assert e.owner == -1
+
+    def test_other_sharers(self):
+        d = Directory(4)
+        e = TagEntry()
+        for core in (0, 1, 2):
+            d.add_sharer(e, core)
+        assert sorted(d.other_sharers(e, 1)) == [0, 2]
+        assert d.has_other_sharers(e, 1)
+        assert not d.has_other_sharers(e, 1) or d.sharer_count(e) == 3
+
+    def test_no_other_sharers_when_sole(self):
+        d = Directory(4)
+        e = TagEntry()
+        d.add_sharer(e, 1)
+        assert not d.has_other_sharers(e, 1)
+
+    def test_core_range_validated(self):
+        d = Directory(2)
+        e = TagEntry()
+        with pytest.raises(ValueError):
+            d.add_sharer(e, 2)
+        with pytest.raises(ValueError):
+            d.is_sharer(e, -1)
+
+    def test_needs_positive_cores(self):
+        with pytest.raises(ValueError):
+            Directory(0)

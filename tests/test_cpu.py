@@ -1,0 +1,74 @@
+"""Tests for the core timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.core import CoreTimingModel
+
+
+class TestCompute:
+    def test_advance(self):
+        core = CoreTimingModel(0, cpi_base=1.0)
+        core.advance_compute(100)
+        assert core.time == 100.0
+        assert core.stats.instructions == 100
+
+    def test_cpi_scales_time(self):
+        core = CoreTimingModel(0, cpi_base=2.0)
+        core.advance_compute(10)
+        assert core.time == 20.0
+
+
+class TestMemoryStalls:
+    def test_l1_hit_is_free(self):
+        core = CoreTimingModel(0)
+        core.apply_memory_latency(3.0, l1_hit=True)
+        assert core.time == 0.0
+
+    def test_short_latency_fully_hidden(self):
+        core = CoreTimingModel(0, tolerance=0.0, hide_cycles=12.0)
+        core.apply_memory_latency(10.0, l1_hit=False)
+        assert core.time == 0.0
+
+    def test_long_latency_partially_hidden(self):
+        core = CoreTimingModel(0, tolerance=0.5, hide_cycles=12.0)
+        core.apply_memory_latency(412.0, l1_hit=False)
+        assert core.time == 200.0
+        assert core.stats.memory_stall_cycles == 200.0
+
+    def test_zero_tolerance_charges_everything_past_window(self):
+        core = CoreTimingModel(0, tolerance=0.0, hide_cycles=0.0)
+        core.apply_memory_latency(400.0, l1_hit=False)
+        assert core.time == 400.0
+
+
+class TestMeasurementEpoch:
+    def test_reset_keeps_clock_but_zeroes_stats(self):
+        core = CoreTimingModel(0)
+        core.advance_compute(100)
+        core.reset_stats()
+        assert core.time == 100.0
+        assert core.stats.instructions == 0
+        core.advance_compute(50)
+        assert core.stats.cycles == 50.0
+
+    def test_ipc(self):
+        core = CoreTimingModel(0, tolerance=0.0, hide_cycles=0.0)
+        core.advance_compute(100)
+        core.apply_memory_latency(100.0, l1_hit=False)
+        assert core.stats.ipc == 0.5
+
+
+class TestValidation:
+    def test_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            CoreTimingModel(0, tolerance=1.0)
+
+    def test_bad_cpi(self):
+        with pytest.raises(ValueError):
+            CoreTimingModel(0, cpi_base=0.0)
+
+    def test_bad_hide(self):
+        with pytest.raises(ValueError):
+            CoreTimingModel(0, hide_cycles=-1.0)

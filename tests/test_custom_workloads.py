@@ -1,0 +1,119 @@
+"""Tests for custom workload construction and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.custom import (
+    WorkloadBuilder,
+    derive,
+    load_spec,
+    register,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.workloads.registry import WORKLOADS, get_spec
+
+
+class TestSerialization:
+    def test_roundtrip_every_registered_spec(self):
+        for name, spec in WORKLOADS.items():
+            assert spec_from_dict(spec_to_dict(spec)) == spec, name
+
+    def test_file_roundtrip(self, tmp_path):
+        spec = get_spec("zeus")
+        path = tmp_path / "zeus.json"
+        save_spec(spec, path)
+        assert load_spec(path) == spec
+
+    def test_unknown_fields_rejected(self):
+        data = spec_to_dict(get_spec("zeus"))
+        data["turbo_mode"] = True
+        with pytest.raises(ValueError):
+            spec_from_dict(data)
+
+    def test_validation_applies_on_load(self):
+        data = spec_to_dict(get_spec("zeus"))
+        data["stride_fraction"] = 2.0
+        with pytest.raises(ValueError):
+            spec_from_dict(data)
+
+
+class TestDerive:
+    def test_override_fields(self):
+        big = derive("zeus", name="zeus-big", ws_factor=6.0)
+        assert big.name == "zeus-big"
+        assert big.ws_factor == 6.0
+        assert big.stream_length == get_spec("zeus").stream_length
+
+    def test_derive_from_spec_object(self):
+        base = get_spec("art")
+        out = derive(base, tolerance=0.1)
+        assert out.tolerance == 0.1
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ValueError):
+            derive("zeus", locality=0.0)
+
+
+class TestRegister:
+    def test_register_and_lookup(self):
+        spec = derive("zeus", name="zeus-test-registered")
+        try:
+            register(spec)
+            assert get_spec("zeus-test-registered") is spec
+        finally:
+            WORKLOADS.pop("zeus-test-registered", None)
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(ValueError):
+            register(get_spec("zeus"))
+
+    def test_overwrite_allowed_explicitly(self):
+        original = get_spec("zeus")
+        try:
+            register(derive("zeus", tolerance=0.11), overwrite=True)
+            assert get_spec("zeus").tolerance == 0.11
+        finally:
+            WORKLOADS["zeus"] = original
+
+
+class TestBuilder:
+    def test_full_build(self):
+        spec = (
+            WorkloadBuilder("myapp")
+            .footprint(ws_factor=2.5, locality=1.8, hot_fraction=0.4)
+            .streaming(fraction=0.3, length=20, strides=((1, 0.8), (4, 0.2)))
+            .instruction_mix(footprint_factor=4.0, instr_per_event=35.0, jump_prob=0.25)
+            .sharing(shared_fraction=0.1, store_fraction=0.2)
+            .values(("byte_text", 0.5), ("random", 0.5))
+            .core(tolerance=0.3)
+            .build()
+        )
+        assert spec.name == "myapp"
+        assert spec.ws_factor == 2.5
+        assert spec.stream_strides == ((1, 0.8), (4, 0.2))
+        assert spec.hot_fraction == 0.4
+
+    def test_defaults_are_valid(self):
+        assert WorkloadBuilder("x").build().name == "x"
+
+    def test_bad_value_class_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadBuilder("x").values(("no_such", 1.0))
+
+    def test_built_spec_simulates(self):
+        from repro.core.system import CMPSystem
+        from repro.params import CacheConfig, L2Config, SystemConfig
+
+        spec = WorkloadBuilder("tiny").streaming(fraction=0.5, length=64).build()
+        cfg = SystemConfig(
+            n_cores=2,
+            l1i=CacheConfig(2 * 1024, 2),
+            l1d=CacheConfig(2 * 1024, 2),
+            l2=L2Config(32 * 1024, n_banks=2),
+        )
+        r = CMPSystem(cfg, spec, seed=0).run(400, warmup_events=100)
+        assert r.workload == "tiny"
+        assert r.instructions > 0

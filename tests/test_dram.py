@@ -1,0 +1,68 @@
+"""Tests for the DRAM model (latency + per-core outstanding limits)."""
+
+from __future__ import annotations
+
+from repro.memory.dram import DRAM
+from repro.params import MemoryConfig
+
+
+def make_dram(latency=400, outstanding=4, cores=2) -> DRAM:
+    return DRAM(
+        MemoryConfig(latency_cycles=latency, max_outstanding_per_core=outstanding), cores
+    )
+
+
+class TestDemand:
+    def test_fixed_latency(self):
+        d = make_dram()
+        assert d.issue_demand(0, 10.0) == 410.0
+
+    def test_limit_forces_wait(self):
+        d = make_dram(outstanding=2)
+        d.issue_demand(0, 0.0)  # completes at 400
+        d.issue_demand(0, 1.0)  # completes at 401
+        # Third request at t=2 must wait for the first to drain.
+        assert d.issue_demand(0, 2.0) == 400.0 + 400.0
+        assert d.stalled_issues == 1
+
+    def test_slots_recycle_after_completion(self):
+        d = make_dram(outstanding=1)
+        d.issue_demand(0, 0.0)
+        assert d.issue_demand(0, 500.0) == 900.0
+        assert d.stalled_issues == 0
+
+    def test_limits_are_per_core(self):
+        d = make_dram(outstanding=1, cores=2)
+        d.issue_demand(0, 0.0)
+        assert d.issue_demand(1, 0.0) == 400.0  # core 1 unaffected
+
+
+class TestPrefetch:
+    def test_prefetch_pool_is_separate(self):
+        d = make_dram(outstanding=1)
+        for _ in range(3):
+            d.issue_prefetch(0, 0.0)
+        # Demand still issues immediately despite saturated prefetch pool.
+        assert d.issue_demand(0, 0.0) == 400.0
+
+    def test_can_issue_tracks_prefetch_pool(self):
+        d = make_dram(outstanding=2)
+        assert d.can_issue(0, 0.0)
+        d.issue_prefetch(0, 0.0)
+        d.issue_prefetch(0, 0.0)
+        assert not d.can_issue(0, 0.0)
+        assert d.can_issue(0, 401.0)  # drained
+
+    def test_outstanding_counts_both_pools(self):
+        d = make_dram()
+        d.issue_demand(0, 0.0)
+        d.issue_prefetch(0, 0.0)
+        assert d.outstanding(0, 1.0) == 2
+        assert d.outstanding(0, 500.0) == 0
+
+    def test_request_counters(self):
+        d = make_dram()
+        d.issue_demand(0, 0.0)
+        d.issue_prefetch(0, 0.0)
+        assert d.demand_requests == 1
+        assert d.prefetch_requests == 1

@@ -1,0 +1,147 @@
+"""Unit and property tests for Frequent Pattern Compression."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.fpc import (
+    PREFIX_BITS,
+    WORDS_PER_LINE,
+    classify_word,
+    compress_line,
+    compressed_size_bits,
+    compressed_size_bytes,
+    decompress_check,
+    line_from_bytes,
+)
+
+
+class TestClassifyWord:
+    def test_zero(self):
+        assert classify_word(0) == (0, 3)
+
+    def test_4bit_positive(self):
+        assert classify_word(7) == (1, 4)
+
+    def test_4bit_negative(self):
+        assert classify_word(0xFFFFFFF8) == (1, 4)  # -8 sign-extended
+
+    def test_8bit_positive(self):
+        assert classify_word(100) == (2, 8)
+
+    def test_8bit_negative(self):
+        assert classify_word(0xFFFFFF80) == (2, 8)  # -128
+
+    def test_16bit_positive(self):
+        assert classify_word(30000) == (3, 16)
+
+    def test_16bit_negative(self):
+        assert classify_word(0xFFFF8000) == (3, 16)  # -32768
+
+    def test_halfword_zero_padded(self):
+        assert classify_word(0xABCD0000) == (4, 16)
+
+    def test_two_sign_extended_halfwords(self):
+        # high half: sign-extended -2 (0xFFFE); low half: 0x0005
+        assert classify_word(0xFFFE0005) == (5, 16)
+
+    def test_repeated_bytes(self):
+        assert classify_word(0x5A5A5A5A) == (6, 8)
+
+    def test_uncompressible(self):
+        assert classify_word(0x12345678) == (7, 32)
+
+    def test_priority_zero_over_repeated(self):
+        # 0 is all-repeated-bytes too, but zero wins.
+        assert classify_word(0)[0] == 0
+
+    def test_priority_small_over_repeated(self):
+        # 0xFFFFFFFF is both 4-bit sign-extended (-1) and repeated bytes.
+        assert classify_word(0xFFFFFFFF) == (1, 4)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            classify_word(1 << 32)
+        with pytest.raises(ValueError):
+            classify_word(-1)
+
+
+class TestCompressLine:
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            compress_line([0] * 15)
+
+    def test_all_zero_line_uses_run_records(self):
+        records = compress_line([0] * WORDS_PER_LINE)
+        # 16 zeros = runs of 7 + 7 + 2
+        assert [r[2] for r in records] == [7, 7, 2]
+        assert compressed_size_bits([0] * WORDS_PER_LINE) == 3 * (PREFIX_BITS + 3)
+
+    def test_zero_run_capped_at_7(self):
+        words = [0] * 8 + [0x12345678] * 8
+        records = compress_line(words)
+        assert records[0][2] == 7
+        assert records[1] == (0, 3, 1)
+
+    def test_incompressible_line_size(self):
+        words = [0x9ABCDEF1] * WORDS_PER_LINE
+        # repeated call: each word is uncompressed (35 bits)
+        assert compressed_size_bits(words) == WORDS_PER_LINE * 35
+
+    def test_size_bytes_rounds_up(self):
+        words = [0] * WORDS_PER_LINE  # 18 bits -> 3 bytes
+        assert compressed_size_bytes(words) == 3
+
+    def test_mixed_line(self):
+        words = [0, 0, 5, 0x12345678] + [1] * 12
+        bits = compressed_size_bits(words)
+        # run(2): 6, 4-bit: 7, uncompressed: 35, twelve 4-bit: 84
+        assert bits == 6 + 7 + 35 + 12 * 7
+
+
+class TestDecompressCheck:
+    def test_known_patterns_roundtrip(self):
+        words = [0, 7, 200, 30000, 0xDEAD0000, 0xFF01FF02, 0x77777777, 0xCAFEBABE] * 2
+        assert decompress_check(words)
+
+
+class TestLineFromBytes:
+    def test_roundtrip_length(self):
+        data = bytes(range(64))
+        words = line_from_bytes(data)
+        assert len(words) == WORDS_PER_LINE
+        assert words[0] == 0x00010203
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            line_from_bytes(b"\x00" * 63)
+
+
+word_st = st.integers(min_value=0, max_value=0xFFFFFFFF)
+line_st = st.lists(word_st, min_size=WORDS_PER_LINE, max_size=WORDS_PER_LINE)
+
+
+class TestFPCProperties:
+    @given(line_st)
+    def test_size_bounds(self, words):
+        bits = compressed_size_bits(words)
+        # Best case: three zero-run records; worst: 16 uncompressed words.
+        assert 1 * (PREFIX_BITS + 3) <= bits <= WORDS_PER_LINE * (PREFIX_BITS + 32)
+
+    @given(line_st)
+    def test_encoder_is_invertible(self, words):
+        assert decompress_check(words)
+
+    @given(line_st)
+    def test_records_cover_every_word(self, words):
+        assert sum(r[2] for r in compress_line(words)) == WORDS_PER_LINE
+
+    @given(word_st)
+    def test_classification_is_deterministic(self, word):
+        assert classify_word(word) == classify_word(word)
+
+    @given(line_st)
+    def test_never_worse_than_verbatim_plus_prefixes(self, words):
+        # FPC's worst case is bounded: prefix overhead on every word.
+        assert compressed_size_bits(words) <= WORDS_PER_LINE * 35

@@ -1,0 +1,91 @@
+"""Tests for the log-scale latency histogram."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.histogram import LatencyHistogram
+
+
+class TestRecording:
+    def test_mean(self):
+        h = LatencyHistogram()
+        for v in (10, 20, 30):
+            h.record(v)
+        assert h.mean == 20.0
+        assert h.count == 3
+
+    def test_zero_latency_bucket(self):
+        h = LatencyHistogram()
+        h.record(0)
+        assert h.buckets() == [("0", 1)]
+
+    def test_bucket_labels(self):
+        h = LatencyHistogram()
+        h.record(1)
+        h.record(5)
+        h.record(400)
+        labels = [label for label, _ in h.buckets()]
+        assert "1-1" in labels and "4-7" in labels and "256-511" in labels
+
+    def test_huge_latency_clamped(self):
+        h = LatencyHistogram()
+        h.record(1e12)
+        assert h.count == 1  # no IndexError; lands in the top bucket
+
+
+class TestPercentiles:
+    def test_p50_of_uniform(self):
+        h = LatencyHistogram()
+        for v in range(1, 101):
+            h.record(v)
+        assert 31 <= h.percentile(50) <= 63  # bucket upper bound containing 50
+
+    def test_p99_catches_tail(self):
+        h = LatencyHistogram()
+        for _ in range(99):
+            h.record(10)
+        h.record(5000)
+        assert h.percentile(99) <= 15
+        assert h.percentile(100) >= 4095
+
+    def test_empty_is_zero(self):
+        assert LatencyHistogram().percentile(50) == 0.0
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(0)
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101)
+
+
+class TestMergeAndSummary:
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(10)
+        b.record(20)
+        a.merge(b)
+        assert a.count == 2 and a.mean == 15.0
+
+    def test_summary_keys(self):
+        h = LatencyHistogram()
+        h.record(42)
+        s = h.summary()
+        assert set(s) == {"count", "mean", "p50", "p90", "p99"}
+
+    def test_simulation_carries_latency_summaries(self):
+        from repro.core.experiment import run_point
+
+        r = run_point("zeus", "base", events=500, warmup=200, scale=16, use_cache=False)
+        assert r.latency["l1d"]["count"] > 0
+        assert r.latency["l2_miss"]["mean"] > 300  # DRAM-bound misses
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_property_percentiles_monotonic(values):
+    h = LatencyHistogram()
+    for v in values:
+        h.record(v)
+    assert h.percentile(50) <= h.percentile(90) <= h.percentile(99) <= h.percentile(100)
+    assert h.count == len(values)

@@ -1,0 +1,58 @@
+"""Tests for EQ 5 interaction arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction import InteractionBreakdown, interaction_coefficient, speedup
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(200.0, 100.0) == 2.0
+
+    def test_slowdown(self):
+        assert speedup(100.0, 200.0) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, -1.0)
+
+
+class TestInteractionCoefficient:
+    def test_zero_when_multiplicative(self):
+        assert interaction_coefficient(1.2 * 1.1, 1.2, 1.1) == pytest.approx(0.0)
+
+    def test_positive_interaction(self):
+        assert interaction_coefficient(1.5, 1.2, 1.1) > 0
+
+    def test_negative_interaction(self):
+        assert interaction_coefficient(1.2, 1.2, 1.1) < 0
+
+    def test_paper_zeus_example(self):
+        """Figure 1's text: prefetching+compression on 16p zeus exceeds the
+        product of individual speedups by 24%."""
+        s_pref, s_compr = 0.92, 1.12
+        s_both = s_pref * s_compr * 1.24
+        assert interaction_coefficient(s_both, s_pref, s_compr) == pytest.approx(0.24)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interaction_coefficient(1.0, 0.0, 1.0)
+
+
+class TestBreakdown:
+    def test_from_runtimes(self):
+        b = InteractionBreakdown.from_runtimes("jbb", base=100.0, with_a=125.0, with_b=95.0, with_both=105.0)
+        assert b.speedup_a == pytest.approx(0.8)
+        assert b.speedup_b == pytest.approx(100 / 95)
+        assert b.speedup_ab == pytest.approx(100 / 105)
+        # 0.952 / (0.8 * 1.0526) = 1.131 -> positive interaction
+        assert b.positive
+
+    def test_row_format(self):
+        b = InteractionBreakdown("zeus", 1.2, 1.1, 1.5)
+        row = b.row()
+        assert "zeus" in row and "interaction" in row and "+20.0%" in row

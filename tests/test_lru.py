@@ -1,0 +1,46 @@
+"""Tests for the LRU stack helpers."""
+
+from __future__ import annotations
+
+from repro.cache.lru import lru_invalid, lru_valid, touch
+
+
+class Entry:
+    def __init__(self, name, valid=True):
+        self.name = name
+        self.valid = valid
+
+
+class TestTouch:
+    def test_moves_to_front(self):
+        a, b, c = Entry("a"), Entry("b"), Entry("c")
+        stack = [a, b, c]
+        touch(stack, c)
+        assert stack == [c, a, b]
+
+    def test_front_stays_front(self):
+        a, b = Entry("a"), Entry("b")
+        stack = [a, b]
+        touch(stack, a)
+        assert stack == [a, b]
+
+
+class TestLRUSelection:
+    def test_lru_valid_picks_last_valid(self):
+        a, b, c = Entry("a"), Entry("b", valid=False), Entry("c")
+        assert lru_valid([a, b, c]) is c
+        assert lru_valid([a, c, b]) is c
+
+    def test_lru_valid_none_when_all_invalid(self):
+        assert lru_valid([Entry("a", valid=False)]) is None
+
+    def test_lru_invalid_picks_last_invalid(self):
+        a, b, c = Entry("a", valid=False), Entry("b"), Entry("c", valid=False)
+        assert lru_invalid([a, b, c]) is c
+
+    def test_lru_invalid_none_when_all_valid(self):
+        assert lru_invalid([Entry("a"), Entry("b")]) is None
+
+    def test_custom_validity_predicate(self):
+        a, b = Entry("a"), Entry("b")
+        assert lru_valid([a, b], is_valid=lambda e: e.name == "a") is a

@@ -1,0 +1,91 @@
+"""Tests for the Figure-8 miss classification arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.missclass import classify_misses
+from repro.core.results import SimulationResult
+from repro.stats.counters import CacheStats, CompressionStats, LinkStats, PrefetchStats
+
+
+def fake_result(workload="w", l2_misses=1000, pf_issued=0) -> SimulationResult:
+    return SimulationResult(
+        workload=workload,
+        config_name="x",
+        seed=0,
+        elapsed_cycles=1.0,
+        instructions=1,
+        l1i=CacheStats(),
+        l1d=CacheStats(),
+        l2=CacheStats(demand_misses=l2_misses),
+        prefetch={"l1i": PrefetchStats(), "l1d": PrefetchStats(), "l2": PrefetchStats(issued=pf_issued)},
+        link=LinkStats(),
+        compression=CompressionStats(),
+        clock_ghz=5.0,
+    )
+
+
+class TestClassification:
+    def test_fractions_partition_base_misses(self):
+        mc = classify_misses(
+            fake_result(l2_misses=1000),
+            fake_result(l2_misses=800),
+            fake_result(l2_misses=700, pf_issued=500),
+            fake_result(l2_misses=600, pf_issued=400),
+        )
+        total = mc.unavoidable + mc.only_compression + mc.only_prefetching + mc.either
+        assert total == pytest.approx(1.0)
+        assert mc.avoided_by_compression == pytest.approx(0.2)
+        assert mc.avoided_by_prefetching == pytest.approx(0.3)
+
+    def test_inclusion_exclusion_overlap(self):
+        # avoided_c=300, avoided_p=300, union=400 -> intersection 200
+        mc = classify_misses(
+            fake_result(l2_misses=1000),
+            fake_result(l2_misses=700),
+            fake_result(l2_misses=700),
+            fake_result(l2_misses=600),
+        )
+        assert mc.either == pytest.approx(0.2)
+        assert mc.only_compression == pytest.approx(0.1)
+
+    def test_prefetch_traffic_classes(self):
+        mc = classify_misses(
+            fake_result(l2_misses=1000),
+            fake_result(l2_misses=900),
+            fake_result(l2_misses=800, pf_issued=600),
+            fake_result(l2_misses=750, pf_issued=450),
+        )
+        assert mc.prefetches_remaining == pytest.approx(0.45)
+        assert mc.prefetches_avoided == pytest.approx(0.15)
+
+    def test_clamping_never_negative(self):
+        # "both" run worse than individual runs: overlap clamps.
+        mc = classify_misses(
+            fake_result(l2_misses=1000),
+            fake_result(l2_misses=990),
+            fake_result(l2_misses=995),
+            fake_result(l2_misses=1000),
+        )
+        assert mc.either >= 0
+        assert mc.only_compression >= 0 and mc.only_prefetching >= 0
+        assert mc.unavoidable <= 1.0
+
+    def test_zero_base_misses_rejected(self):
+        with pytest.raises(ValueError):
+            classify_misses(
+                fake_result(l2_misses=0),
+                fake_result(),
+                fake_result(),
+                fake_result(),
+            )
+
+    def test_rows_render(self):
+        mc = classify_misses(
+            fake_result(l2_misses=100),
+            fake_result(l2_misses=90),
+            fake_result(l2_misses=80),
+            fake_result(l2_misses=70),
+        )
+        assert "unavoid" in mc.rows()

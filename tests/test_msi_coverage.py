@@ -1,0 +1,55 @@
+"""Exhaustive coverage of the MSI transition table and protocol events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.line import MSIState
+from repro.coherence.msi import EVENTS, LEGAL_TRANSITIONS, check_transition, next_state
+
+I, S, M = MSIState.INVALID, MSIState.SHARED, MSIState.MODIFIED
+
+
+class TestTableCompleteness:
+    def test_every_local_op_defined_from_every_state(self):
+        """load/store must have a defined outcome from I, S and M."""
+        for state in (I, S, M):
+            for event in ("load", "store"):
+                assert (state, event) in LEGAL_TRANSITIONS
+
+    def test_invalid_state_has_no_remote_events(self):
+        """An Invalid line cannot be invalidated or downgraded again."""
+        assert (I, "inval") not in LEGAL_TRANSITIONS
+        assert (I, "downgrade") not in LEGAL_TRANSITIONS
+        assert (I, "evict") not in LEGAL_TRANSITIONS
+
+    def test_shared_cannot_downgrade(self):
+        assert (S, "downgrade") not in LEGAL_TRANSITIONS
+
+    def test_event_names_are_closed_set(self):
+        assert EVENTS == {"load", "store", "inval", "downgrade", "evict"}
+
+    def test_loads_never_grant_ownership(self):
+        for state in (I, S):
+            assert next_state(state, "load") != M
+
+    def test_stores_always_end_modified(self):
+        for state in (I, S, M):
+            assert next_state(state, "store") == M
+
+    def test_remote_events_never_end_modified(self):
+        for (state, event), to in LEGAL_TRANSITIONS.items():
+            if event in ("inval", "downgrade", "evict"):
+                assert to != M, (state, event)
+
+
+class TestCheckTransition:
+    @pytest.mark.parametrize("state,event", sorted(LEGAL_TRANSITIONS))
+    def test_table_entries_check_true(self, state, event):
+        assert check_transition(state, event, LEGAL_TRANSITIONS[(state, event)])
+
+    def test_undefined_combination_checks_false(self):
+        assert not check_transition(I, "downgrade", S)
+
+    def test_wrong_target_checks_false(self):
+        assert not check_transition(I, "load", M)

@@ -1,0 +1,127 @@
+"""Tests for the on-chip network and the open-row DRAM extension."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.system import CMPSystem
+from repro.interconnect.noc import OnChipNetwork
+from repro.memory.dram import DRAM
+from repro.params import CacheConfig, L2Config, MemoryConfig, SystemConfig
+
+
+class TestOnChipNetwork:
+    def test_disabled_is_free(self):
+        noc = OnChipNetwork(2, None, 5.0)
+        assert noc.transfer_line(0, 100.0) == 100.0
+        assert noc.transfers == 1
+
+    def test_unloaded_transfer_is_wire_latency(self):
+        # Critical-word-first: the consumer waits only the wire latency
+        # (plus a vanishing congestion term) when the channel is idle.
+        noc = OnChipNetwork(8, 320.0, 5.0)
+        assert noc.transfer_line(0, 0.0) == pytest.approx(
+            OnChipNetwork.WIRE_CYCLES, abs=0.05
+        )
+
+    def test_congestion_grows_with_load(self):
+        noc = OnChipNetwork(2, 64.0, 5.0)  # 12.8 B/cyc total
+        light = noc.transfer_line(0, 0.0) - 0.0
+        # Saturate the window: many lines at the same instant.
+        for _ in range(300):
+            noc.transfer_line(1, 1.0)
+        heavy = noc.transfer_line(0, 2.0) - 2.0
+        assert heavy > light
+        assert noc.queue_cycles > 0.0
+
+    def test_delay_is_bounded(self):
+        noc = OnChipNetwork(2, 64.0, 5.0)
+        for _ in range(10_000):
+            noc.transfer_line(0, 5.0)
+        completion = noc.transfer_line(0, 5.0)
+        assert completion <= 5.0 + OnChipNetwork.WIRE_CYCLES + OnChipNetwork.MAX_QUEUE
+
+    def test_window_resets_after_idle(self):
+        noc = OnChipNetwork(2, 64.0, 5.0)
+        for _ in range(500):
+            noc.transfer_line(0, 0.0)
+        # Long idle gap: utilization history expires.
+        late = noc.transfer_line(0, 10_000.0)
+        assert late == pytest.approx(10_000.0 + OnChipNetwork.WIRE_CYCLES, abs=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnChipNetwork(0, 320.0, 5.0)
+        with pytest.raises(ValueError):
+            OnChipNetwork(2, 0.0, 5.0)
+
+    def test_system_integration(self):
+        cfg = SystemConfig(
+            n_cores=2,
+            l1i=CacheConfig(2 * 1024, 2),
+            l1d=CacheConfig(2 * 1024, 2),
+            l2=L2Config(32 * 1024, n_banks=2),
+            onchip_bandwidth_gbs=320.0,
+        )
+        system = CMPSystem(cfg, "zeus", seed=0)
+        r = system.run(500, warmup_events=100)
+        assert system.hierarchy.noc.transfers > 0
+        # Generous on-chip bandwidth: negligible queuing.
+        assert system.hierarchy.noc.queue_cycles < r.elapsed_cycles
+
+
+class TestOpenRowDRAM:
+    def make(self, row_buffer=True, banks=4, row_lines=8):
+        return DRAM(
+            MemoryConfig(
+                latency_cycles=400,
+                row_buffer=row_buffer,
+                dram_banks=banks,
+                row_lines=row_lines,
+                row_hit_latency=250,
+            ),
+            n_cores=1,
+        )
+
+    def test_first_access_misses_row(self):
+        d = self.make()
+        assert d.issue_demand(0, 0.0, addr=0) == 400.0
+        assert d.row_misses == 1
+
+    def test_same_row_hits(self):
+        d = self.make()
+        d.issue_demand(0, 0.0, addr=0)
+        assert d.issue_demand(0, 1000.0, addr=1) == 1250.0
+        assert d.row_hits == 1
+
+    def test_different_row_same_bank_closes(self):
+        d = self.make(banks=4, row_lines=8)
+        d.issue_demand(0, 0.0, addr=0)  # row 0, bank 0
+        # row 4 also maps to bank 0 (4 % 4 == 0) and closes row 0.
+        d.issue_demand(0, 1000.0, addr=4 * 8)
+        assert d.row_misses == 2
+        d.issue_demand(0, 2000.0, addr=1)  # row 0 again: reopened -> miss
+        assert d.row_misses == 3
+
+    def test_disabled_model_is_fixed_latency(self):
+        d = self.make(row_buffer=False)
+        for i in range(5):
+            assert d.issue_demand(0, i * 1000.0, addr=i) == i * 1000.0 + 400.0
+        assert d.row_hits == 0 and d.row_misses == 0
+
+    def test_streaming_workload_benefits_from_rows(self):
+        base_cfg = SystemConfig(
+            n_cores=2,
+            l1i=CacheConfig(2 * 1024, 2),
+            l1d=CacheConfig(2 * 1024, 2),
+            l2=L2Config(32 * 1024, n_banks=2),
+        )
+        rows_cfg = replace(
+            base_cfg, memory=MemoryConfig(row_buffer=True, row_hit_latency=250)
+        )
+        flat = CMPSystem(base_cfg, "mgrid", seed=0).run(1200, warmup_events=300)
+        rows = CMPSystem(rows_cfg, "mgrid", seed=0).run(1200, warmup_events=300)
+        # Strided streams hit open rows often: runtime improves.
+        assert rows.elapsed_cycles < flat.elapsed_cycles

@@ -1,0 +1,110 @@
+"""Tests for configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import (
+    CacheConfig,
+    L2Config,
+    LinkConfig,
+    SystemConfig,
+    bytes_per_cycle,
+)
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        c = CacheConfig(size_bytes=64 * 1024, assoc=4)
+        assert c.n_lines == 1024
+        assert c.n_sets == 256
+
+    def test_invalid_divisibility(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, assoc=3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, assoc=4)
+
+
+class TestL2Config:
+    def test_table1_defaults(self):
+        l2 = L2Config()
+        assert l2.size_bytes == 4 * 1024 * 1024
+        assert l2.n_banks == 8
+        assert l2.tags_per_set == 8
+        assert l2.uncompressed_assoc == 4
+        assert l2.hit_latency == 15
+        assert l2.decompression_cycles == 5
+
+    def test_data_segments_match_uncompressed_lines(self):
+        l2 = L2Config()
+        assert l2.data_segments_per_set == 4 * 8  # 4 lines of 8 segments
+
+    def test_geometry(self):
+        l2 = L2Config(size_bytes=1024 * 1024)
+        assert l2.n_lines == 16384
+        assert l2.n_sets == 4096
+        assert l2.sets_per_bank == 512
+
+    def test_tags_must_cover_assoc(self):
+        with pytest.raises(ValueError):
+            L2Config(tags_per_set=2, uncompressed_assoc=4)
+
+
+class TestSystemConfig:
+    def test_table1_defaults(self):
+        cfg = SystemConfig()
+        assert cfg.n_cores == 8
+        assert cfg.clock_ghz == 5.0
+        assert cfg.link.bandwidth_gbs == 20.0
+        assert cfg.memory.latency_cycles == 400
+        assert cfg.memory.max_outstanding_per_core == 16
+        assert cfg.prefetch.l1_startup == 6
+        assert cfg.prefetch.l2_startup == 25
+        assert cfg.prefetch.confirm_misses == 4
+        assert cfg.prefetch.filter_entries == 32
+        assert cfg.prefetch.stream_entries == 8
+
+    def test_scaled_shrinks_caches_only(self):
+        cfg = SystemConfig().scaled(4)
+        assert cfg.l1d.size_bytes == 16 * 1024
+        assert cfg.l2.size_bytes == 1024 * 1024
+        assert cfg.link.bandwidth_gbs == 20.0  # deliberately unscaled
+        assert cfg.memory.latency_cycles == 400
+
+    def test_scale_one_is_identity(self):
+        cfg = SystemConfig()
+        assert cfg.scaled(1) is cfg
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig().scaled(0)
+
+    def test_with_features(self):
+        cfg = SystemConfig().with_features(
+            cache_compression=True, link_compression=True, prefetching=True, adaptive=True
+        )
+        assert cfg.cache_compression and cfg.link_compression
+        assert cfg.prefetch.enabled and cfg.prefetch.adaptive
+
+    def test_with_features_partial(self):
+        cfg = SystemConfig().with_features(prefetching=True)
+        assert cfg.prefetch.enabled
+        assert not cfg.cache_compression
+
+    def test_describe(self):
+        cfg = SystemConfig().with_features(cache_compression=True, prefetching=True)
+        text = cfg.describe()
+        assert "8p" in text and "cacheC" in text and "pf" in text
+
+    def test_describe_infinite_bw(self):
+        from dataclasses import replace
+
+        cfg = replace(SystemConfig(), link=LinkConfig(bandwidth_gbs=None))
+        assert "infBW" in cfg.describe()
+
+
+def test_bytes_per_cycle():
+    assert bytes_per_cycle(20.0, 5.0) == 4.0

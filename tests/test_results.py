@@ -1,0 +1,91 @@
+"""Tests for SimulationResult's derived metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import SimulationResult
+from repro.stats.counters import CacheStats, CompressionStats, LinkStats, PrefetchStats
+
+
+def make_result(**overrides) -> SimulationResult:
+    defaults = dict(
+        workload="w",
+        config_name="base",
+        seed=0,
+        elapsed_cycles=1_000.0,
+        instructions=2_000,
+        l1i=CacheStats(demand_hits=80, demand_misses=20),
+        l1d=CacheStats(demand_hits=70, demand_misses=30),
+        l2=CacheStats(demand_hits=40, demand_misses=10),
+        prefetch={
+            "l1i": PrefetchStats(),
+            "l1d": PrefetchStats(),
+            "l2": PrefetchStats(issued=100, useful=40, useless=50),
+        },
+        link=LinkStats(bytes_total=4_000, bytes_data=3_200, data_messages=50),
+        compression=CompressionStats(),
+        clock_ghz=5.0,
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestHeadlineMetrics:
+    def test_ipc(self):
+        assert make_result().ipc == 2.0
+
+    def test_runtime_is_elapsed(self):
+        assert make_result().runtime == 1_000.0
+
+    def test_speedup_vs(self):
+        fast = make_result(elapsed_cycles=500.0)
+        slow = make_result(elapsed_cycles=1_000.0)
+        assert fast.speedup_vs(slow) == 2.0
+
+    def test_speedup_requires_positive_runtime(self):
+        with pytest.raises(ValueError):
+            make_result(elapsed_cycles=0.0).speedup_vs(make_result())
+
+
+class TestBandwidth:
+    def test_eq1_demand(self):
+        # 4000 bytes / 1000 cycles * 5 GHz = 20 GB/s
+        assert make_result().bandwidth_gbs == 20.0
+
+    def test_uncompressed_equiv_inflates_data(self):
+        r = make_result()
+        # headers: 800 bytes; 50 messages x 64 = 3200 -> same as actual here
+        assert r.uncompressed_equiv_bandwidth_gbs == pytest.approx(20.0)
+        compressed = make_result(
+            link=LinkStats(bytes_total=2_400, bytes_data=1_600, data_messages=50)
+        )
+        assert compressed.uncompressed_equiv_bandwidth_gbs > compressed.bandwidth_gbs
+
+
+class TestPrefetcherReport:
+    def test_table4_columns(self):
+        rep = make_result().prefetcher_report("l2")
+        assert rep.rate_per_1000 == 50.0  # 100 prefetches / 2000 instr
+        assert rep.coverage == pytest.approx(40 / 50)
+        assert rep.accuracy == pytest.approx(0.4)
+        assert rep.useless == 50
+
+    def test_all_levels_accessible(self):
+        r = make_result()
+        for lvl in ("l1i", "l1d", "l2"):
+            assert r.prefetcher_report(lvl) is not None
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(KeyError):
+            make_result().prefetcher_report("l3")
+
+
+class TestFormatting:
+    def test_summary_contains_key_fields(self):
+        text = make_result().summary()
+        assert "w" in text and "base" in text and "GB/s" in text
+
+    def test_miss_rate_passthrough(self):
+        assert make_result().l2_miss_rate == pytest.approx(0.2)
+        assert make_result().l2_demand_misses == 10

@@ -1,0 +1,78 @@
+"""Tests for segment accounting and message sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression.link import MessageSizer
+from repro.compression.segments import is_stored_compressed, segments_for_line, segments_for_size
+from repro.params import LINE_BYTES, SEGMENT_BYTES
+
+
+class TestSegmentsForSize:
+    def test_one_byte_is_one_segment(self):
+        assert segments_for_size(1) == 1
+
+    def test_exact_boundary(self):
+        assert segments_for_size(8) == 1
+        assert segments_for_size(9) == 2
+
+    def test_caps_at_eight(self):
+        assert segments_for_size(64) == 8
+        assert segments_for_size(70) == 8  # FPC expansion stored verbatim
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            segments_for_size(0)
+
+
+class TestSegmentsForLine:
+    def test_zero_line_single_segment(self):
+        assert segments_for_line([0] * 16) == 1
+
+    def test_random_line_uncompressed(self):
+        assert segments_for_line([0x9ABCDEF1] * 16) == 8
+
+
+class TestIsStoredCompressed:
+    def test_compressed(self):
+        assert is_stored_compressed(1)
+        assert is_stored_compressed(7)
+
+    def test_uncompressed(self):
+        assert not is_stored_compressed(8)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            is_stored_compressed(0)
+        with pytest.raises(ValueError):
+            is_stored_compressed(9)
+
+
+class TestMessageSizer:
+    def test_request_is_header_only(self):
+        assert MessageSizer(compressed=False).request_bytes() == SEGMENT_BYTES
+
+    def test_uncompressed_data_ignores_segments(self):
+        sizer = MessageSizer(compressed=False)
+        assert sizer.data_bytes(1) == SEGMENT_BYTES + LINE_BYTES
+        assert sizer.data_bytes(8) == SEGMENT_BYTES + LINE_BYTES
+
+    def test_compressed_data_scales_with_segments(self):
+        sizer = MessageSizer(compressed=True)
+        assert sizer.data_bytes(1) == SEGMENT_BYTES + SEGMENT_BYTES
+        assert sizer.data_bytes(8) == SEGMENT_BYTES + LINE_BYTES
+
+    def test_data_flits(self):
+        sizer = MessageSizer(compressed=True)
+        assert sizer.data_flits(3) == 3
+        assert MessageSizer(compressed=False).data_flits(3) == 8
+
+    def test_segment_range_checked(self):
+        with pytest.raises(ValueError):
+            MessageSizer().data_bytes(0)
+        with pytest.raises(ValueError):
+            MessageSizer().data_bytes(9)
+
+    def test_uncompressed_equiv(self):
+        assert MessageSizer(compressed=True).uncompressed_equiv_bytes() == SEGMENT_BYTES + LINE_BYTES

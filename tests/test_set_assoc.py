@@ -1,0 +1,166 @@
+"""Tests for the plain set-associative L1 cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.line import MSIState
+from repro.cache.set_assoc import SetAssocCache
+from repro.params import CacheConfig
+
+
+def make_cache(assoc=2, sets=8, victim_depth=0) -> SetAssocCache:
+    return SetAssocCache(
+        CacheConfig(size_bytes=assoc * sets * 64, assoc=assoc), victim_depth=victim_depth
+    )
+
+
+def addrs_in_set(cache: SetAssocCache, set_idx: int, count: int):
+    """Distinct line addresses that all map to ``set_idx``."""
+    return [set_idx + k * cache.n_sets for k in range(count)]
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert c.probe(0x10) is None
+        c.insert(0x10)
+        entry = c.probe(0x10)
+        assert entry is not None and entry.addr == 0x10
+
+    def test_insert_duplicate_raises(self):
+        c = make_cache()
+        c.insert(0x10)
+        with pytest.raises(ValueError):
+            c.insert(0x10)
+
+    def test_touch_missing_raises(self):
+        c = make_cache()
+        with pytest.raises(KeyError):
+            c.touch(0x10)
+
+    def test_resident_count(self):
+        c = make_cache()
+        for a in (1, 2, 3):
+            c.insert(a)
+        assert c.resident_lines() == 3
+
+
+class TestLRUReplacement:
+    def test_evicts_lru(self):
+        c = make_cache(assoc=2)
+        a, b, d = addrs_in_set(c, 3, 3)
+        c.insert(a)
+        c.insert(b)
+        ev = c.insert(d)
+        assert ev is not None and ev.addr == a  # a was LRU
+
+    def test_touch_protects_from_eviction(self):
+        c = make_cache(assoc=2)
+        a, b, d = addrs_in_set(c, 3, 3)
+        c.insert(a)
+        c.insert(b)
+        c.touch(a)  # promote a; b becomes LRU
+        ev = c.insert(d)
+        assert ev.addr == b
+
+    def test_no_eviction_when_free_way(self):
+        c = make_cache(assoc=2)
+        a, b = addrs_in_set(c, 0, 2)
+        assert c.insert(a) is None
+        assert c.insert(b) is None
+
+
+class TestEvictionMetadata:
+    def test_dirty_flag_propagates(self):
+        c = make_cache(assoc=1)
+        a, b = addrs_in_set(c, 0, 2)
+        c.insert(a, dirty=True)
+        ev = c.insert(b)
+        assert ev.dirty
+
+    def test_untouched_prefetch_flag(self):
+        c = make_cache(assoc=1)
+        a, b = addrs_in_set(c, 0, 2)
+        c.insert(a, prefetch=True)
+        ev = c.insert(b)
+        assert ev.prefetch_untouched
+
+    def test_state_carried(self):
+        c = make_cache(assoc=1)
+        a, b = addrs_in_set(c, 0, 2)
+        c.insert(a, state=MSIState.MODIFIED)
+        ev = c.insert(b)
+        assert ev.state == MSIState.MODIFIED
+
+
+class TestInvalidate:
+    def test_invalidate_resident(self):
+        c = make_cache()
+        c.insert(0x20, dirty=True)
+        ev = c.invalidate(0x20)
+        assert ev is not None and ev.dirty
+        assert c.probe(0x20) is None
+
+    def test_invalidate_absent_is_noop(self):
+        c = make_cache()
+        assert c.invalidate(0x20) is None
+
+
+class TestVictimTags:
+    def test_victims_recorded(self):
+        c = make_cache(assoc=1, victim_depth=2)
+        a, b, d = addrs_in_set(c, 0, 3)
+        c.insert(a)
+        c.insert(b)  # evicts a
+        assert c.victim_match(a)
+        c.insert(d)  # evicts b
+        assert c.victim_match(a) and c.victim_match(b)
+
+    def test_victim_depth_bounds_history(self):
+        c = make_cache(assoc=1, victim_depth=1)
+        a, b, d = addrs_in_set(c, 0, 3)
+        c.insert(a)
+        c.insert(b)
+        c.insert(d)
+        assert not c.victim_match(a)
+        assert c.victim_match(b)
+
+    def test_no_victims_when_depth_zero(self):
+        c = make_cache(assoc=1, victim_depth=0)
+        a, b = addrs_in_set(c, 0, 2)
+        c.insert(a)
+        c.insert(b)
+        assert not c.victim_match(a)
+
+    def test_set_has_prefetched_line(self):
+        c = make_cache(assoc=2)
+        a, b = addrs_in_set(c, 5, 2)
+        c.insert(a, prefetch=True)
+        assert c.set_has_prefetched_line(b)  # same set
+        entry = c.probe(a)
+        entry.prefetch_bit = False
+        assert not c.set_has_prefetched_line(b)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=300))
+def test_property_capacity_invariant(addresses):
+    """Under any access pattern, each set holds at most ``assoc`` lines and
+    a probe never returns a line that was not the most recent insert/touch
+    target of that address."""
+    c = make_cache(assoc=2, sets=8)
+    resident = set()
+    for addr in addresses:
+        if c.probe(addr) is not None:
+            c.touch(addr)
+        else:
+            ev = c.insert(addr)
+            if ev is not None:
+                resident.discard(ev.addr)
+            resident.add(addr)
+    assert c.resident_lines() == len(resident)
+    assert c.resident_lines() <= 16
+    for addr in resident:
+        assert c.probe(addr) is not None

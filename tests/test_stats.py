@@ -1,0 +1,106 @@
+"""Tests for counters (EQ 2-4 metrics) and confidence intervals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.confidence import ConfidenceInterval, mean_ci, t95
+from repro.stats.counters import CacheStats, CompressionStats, LinkStats, PrefetchStats
+
+
+class TestCacheStats:
+    def test_miss_rate(self):
+        s = CacheStats(demand_hits=90, demand_misses=10)
+        assert s.miss_rate == 0.1
+
+    def test_empty_miss_rate_is_zero(self):
+        assert CacheStats().miss_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(demand_hits=1, demand_misses=2)
+        b = CacheStats(demand_hits=3, writebacks=4)
+        a.merge(b)
+        assert a.demand_hits == 4 and a.demand_misses == 2 and a.writebacks == 4
+
+
+class TestPrefetchStats:
+    def test_eq2_rate(self):
+        s = PrefetchStats(issued=50)
+        assert s.prefetch_rate(10_000) == 5.0
+
+    def test_eq3_coverage(self):
+        s = PrefetchStats(useful=25)
+        assert s.coverage(demand_misses=75) == 0.25
+
+    def test_eq4_accuracy(self):
+        s = PrefetchStats(issued=100, useful=40)
+        assert s.accuracy == 0.4
+
+    def test_degenerate_metrics(self):
+        s = PrefetchStats()
+        assert s.prefetch_rate(0) == 0.0
+        assert s.coverage(0) == 0.0
+        assert s.accuracy == 0.0
+
+
+class TestLinkStats:
+    def test_demand_gbs(self):
+        s = LinkStats(bytes_total=1000)
+        # 1000 bytes / 500 cycles * 5 GHz = 10 GB/s
+        assert s.demand_gbs(500.0, 5.0) == 10.0
+
+    def test_zero_elapsed(self):
+        assert LinkStats(bytes_total=10).demand_gbs(0.0, 5.0) == 0.0
+
+
+class TestCompressionStats:
+    def test_ratio_from_samples(self):
+        s = CompressionStats(capacity_lines=100)
+        s.record_sample(150)
+        s.record_sample(170)
+        assert s.compression_ratio == 1.6
+
+    def test_ratio_defaults_to_one(self):
+        assert CompressionStats().compression_ratio == 1.0
+
+    def test_avg_segments(self):
+        s = CompressionStats(compressed_lines=1, uncompressed_lines=1, segment_sum=10)
+        assert s.avg_segments_per_line == 5.0
+
+
+class TestConfidence:
+    def test_single_sample_zero_width(self):
+        ci = mean_ci([5.0])
+        assert ci.mean == 5.0 and ci.half_width == 0.0
+
+    def test_identical_samples_zero_width(self):
+        ci = mean_ci([2.0, 2.0, 2.0])
+        assert ci.half_width == 0.0
+
+    def test_known_t_value(self):
+        # n=5 -> dof=4 -> t=2.776
+        assert t95(4) == 2.776
+
+    def test_large_dof_uses_normal(self):
+        assert t95(100) == 1.96
+
+    def test_interval_contains_mean(self):
+        ci = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.contains(ci.mean)
+        assert ci.low < ci.mean < ci.high
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_t95_needs_dof(self):
+        with pytest.raises(ValueError):
+            t95(0)
+
+    def test_str_format(self):
+        assert "n=2" in str(mean_ci([1.0, 2.0]))
+
+    def test_interval_properties(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, n=3)
+        assert ci.low == 8.0 and ci.high == 12.0
+        assert ci.contains(9.0) and not ci.contains(13.0)

@@ -1,0 +1,66 @@
+"""Tests for stream tables (startup bursts + run-ahead advance)."""
+
+from __future__ import annotations
+
+from repro.prefetch.stream_table import StreamTable
+
+
+class TestAllocation:
+    def test_startup_prefetches(self):
+        t = StreamTable()
+        assert t.allocate(100, 1, startup=4) == [101, 102, 103, 104]
+
+    def test_negative_stride_startup(self):
+        t = StreamTable()
+        assert t.allocate(100, -2, startup=3) == [98, 96, 94]
+
+    def test_zero_startup_allocates_nothing(self):
+        t = StreamTable()
+        assert t.allocate(100, 1, startup=0) == []
+        assert len(t) == 0
+
+    def test_capacity_evicts_oldest(self):
+        t = StreamTable(capacity=2)
+        t.allocate(0, 1, startup=1)
+        t.allocate(1000, 1, startup=1)
+        t.allocate(2000, 1, startup=1)
+        assert len(t) == 2
+        assert t.advance(1) is None  # first stream evicted
+
+
+class TestAdvance:
+    def test_advance_maintains_run_ahead(self):
+        t = StreamTable()
+        t.allocate(100, 1, startup=4)  # frontier at 104, next demand 101
+        assert t.advance(101) == [105]
+        assert t.advance(102) == [106]
+
+    def test_non_matching_access_is_ignored(self):
+        t = StreamTable()
+        t.allocate(100, 1, startup=4)
+        assert t.advance(555) is None
+
+    def test_skipping_ahead_breaks_the_stream(self):
+        t = StreamTable()
+        t.allocate(100, 1, startup=4)
+        assert t.advance(103) is None  # expected 101
+
+    def test_non_unit_stride_advance(self):
+        t = StreamTable()
+        t.allocate(0, 8, startup=2)  # prefetch 8, 16; expect demand at 8
+        assert t.advance(8) == [24]
+        assert t.advance(16) == [32]
+
+    def test_two_streams_advance_independently(self):
+        t = StreamTable()
+        t.allocate(0, 1, startup=2)
+        t.allocate(1000, -1, startup=2)
+        assert t.advance(1) == [3]
+        assert t.advance(999) == [997]
+
+    def test_active_streams_listing(self):
+        t = StreamTable()
+        t.allocate(0, 1, startup=2)
+        t.allocate(50, 2, startup=2)
+        strides = sorted(s.stride for s in t.active_streams())
+        assert strides == [1, 2]

@@ -1,0 +1,94 @@
+"""Tests for the assembled per-cache stride prefetcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import PrefetchConfig
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.adaptive import AdaptiveController
+from repro.stats.counters import PrefetchStats
+
+
+def make_pf(level="l2", enabled=True, adaptive=False, **kw) -> StridePrefetcher:
+    cfg = PrefetchConfig(enabled=enabled, adaptive=adaptive, **kw)
+    return StridePrefetcher(level, cfg)
+
+
+class TestBasics:
+    def test_disabled_prefetcher_is_silent(self):
+        pf = make_pf(enabled=False)
+        for a in range(100, 110):
+            assert pf.observe_miss(a) == []
+            assert pf.observe_hit(a) == []
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher("l3", PrefetchConfig())
+
+    def test_l1_and_l2_startup_depths(self):
+        l1 = make_pf("l1")
+        l2 = make_pf("l2")
+        out1 = confirm_stream(l1)
+        out2 = confirm_stream(l2)
+        assert len(out1) == l1.config.l1_startup == 6
+        assert len(out2) == l2.config.l2_startup == 25
+
+
+def confirm_stream(pf: StridePrefetcher, start=1000, stride=1):
+    """Feed misses until the stream confirms; return its startup burst."""
+    for i in range(pf.config.confirm_misses):
+        out = pf.observe_miss(start + i * stride)
+        if out:
+            return out
+    return []
+
+
+class TestStreamLifecycle:
+    def test_confirmed_stream_issues_startup_burst(self):
+        pf = make_pf("l2")
+        out = confirm_stream(pf)
+        assert out[0] == 1004 and out[-1] == 1003 + 25
+        assert pf.stats.streams_allocated == 1
+
+    def test_hits_advance_the_stream(self):
+        pf = make_pf("l2")
+        confirm_stream(pf)
+        out = pf.observe_hit(1004)
+        assert out == [1003 + 26]
+
+    def test_misses_also_advance(self):
+        pf = make_pf("l1")
+        confirm_stream(pf)
+        # the expected next demand, even if it missed, advances the stream
+        out = pf.observe_miss(1004)
+        assert 1003 + 7 in out
+
+
+class TestAdaptiveIntegration:
+    def test_throttled_startup(self):
+        pf = make_pf("l2", adaptive=True)
+        for _ in range(8):  # halve the counter
+            pf.adaptive.on_useless()
+        out = confirm_stream(pf)
+        assert len(out) == 25 * 8 // 16
+        assert pf.stats.throttled == 25 - len(out)
+
+    def test_zero_counter_blocks_allocation(self):
+        pf = make_pf("l2", adaptive=True)
+        for _ in range(pf.adaptive.counter_max):
+            pf.adaptive.on_useless()
+        bursts = [confirm_stream(pf, start=i * 10000) for i in range(4)]
+        # Probes fire only every PROBE_INTERVAL'th stream: most are empty.
+        assert sum(len(b) for b in bursts) <= 4
+
+    def test_shared_controller_and_stats(self):
+        ctrl = AdaptiveController(16, enabled=True)
+        stats = PrefetchStats()
+        cfg = PrefetchConfig(enabled=True, adaptive=True)
+        a = StridePrefetcher("l2", cfg, adaptive=ctrl, stats=stats)
+        b = StridePrefetcher("l2", cfg, adaptive=ctrl, stats=stats)
+        confirm_stream(a, start=0)
+        confirm_stream(b, start=50000)
+        assert stats.streams_allocated == 2
+        assert a.adaptive is b.adaptive

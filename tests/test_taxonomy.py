@@ -1,0 +1,87 @@
+"""Tests for the Srinivasan prefetch taxonomy tracker."""
+
+from __future__ import annotations
+
+from repro.prefetch.taxonomy import PrefetchTaxonomy, TaxonomyCounts
+
+
+class TestCounts:
+    def test_resolved_and_pending(self):
+        c = TaxonomyCounts(useful=3, useless=2, issued=10)
+        assert c.resolved == 5
+        assert c.pending == 5
+
+    def test_fractions(self):
+        c = TaxonomyCounts(useful=3, useless=1, issued=4)
+        assert c.fraction("useful") == 0.75
+        assert c.fraction("harmful") == 0.0
+
+    def test_empty_fraction_zero(self):
+        assert TaxonomyCounts().fraction("useful") == 0.0
+
+
+class TestEventFlow:
+    def test_basic_lifecycle(self):
+        t = PrefetchTaxonomy()
+        for _ in range(4):
+            t.on_issued("l2")
+        t.on_used("l2")
+        t.on_evicted_unused("l2")
+        c = t.level("l2")
+        assert c.issued == 4 and c.useful == 1 and c.useless == 1
+        assert c.pending == 2
+
+    def test_victim_live_upgrades_useless_to_harmful(self):
+        t = PrefetchTaxonomy()
+        t.on_issued("l2")
+        t.on_evicted_unused("l2")
+        t.on_victim_live("l2")
+        c = t.level("l2")
+        assert c.useless == 0 and c.harmful == 1
+
+    def test_victim_live_downgrades_useful_to_polluting(self):
+        t = PrefetchTaxonomy()
+        t.on_issued("l2")
+        t.on_used("l2")
+        t.on_victim_live("l2")
+        c = t.level("l2")
+        assert c.useful == 0 and c.useful_polluting == 1
+
+    def test_victim_live_with_no_history_counts_harmful(self):
+        t = PrefetchTaxonomy()
+        t.on_victim_live("l1d")
+        assert t.level("l1d").harmful == 1
+
+    def test_levels_are_independent(self):
+        t = PrefetchTaxonomy()
+        t.on_issued("l1i")
+        t.on_issued("l2")
+        t.on_used("l2")
+        assert t.level("l1i").useful == 0
+        assert t.level("l2").useful == 1
+
+    def test_report_renders(self):
+        t = PrefetchTaxonomy()
+        t.on_issued("l2")
+        t.on_used("l2")
+        text = t.report()
+        assert "l2" in text and "useful=1" in text
+
+
+class TestSimulationIntegration:
+    def test_taxonomy_populated_by_run(self):
+        from repro.core.experiment import run_point
+
+        r = run_point("mgrid", "pref", events=1200, warmup=1200, scale=16, use_cache=False)
+        l2 = r.taxonomy["l2"]
+        assert l2.issued > 0
+        assert l2.resolved > 0
+        # Accurate streaming code: mostly useful prefetches.
+        assert l2.fraction("useful") + l2.fraction("useful_polluting") > 0.4
+
+    def test_taxonomy_empty_without_prefetching(self):
+        from repro.core.experiment import run_point
+
+        r = run_point("mgrid", "base", events=800, warmup=800, scale=16, use_cache=False)
+        assert r.taxonomy["l2"].issued == 0
+        assert r.taxonomy["l2"].resolved == 0

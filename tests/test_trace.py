@@ -1,0 +1,150 @@
+"""Tests for trace recording, serialization, and replay."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.trace.format import TraceHeader
+from repro.trace.io import TracePack, TraceReader, TraceWriter, record_trace
+from repro.workloads.base import IFETCH, LOAD, STORE
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        h = TraceHeader(workload="zeus", n_cores=8, events_per_core=1000, seed=42)
+        decoded = TraceHeader.decode(io.BytesIO(h.encode()))
+        assert decoded == h
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            TraceHeader.decode(io.BytesIO(b"XXXX" + b"\x00" * 20))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            TraceHeader.decode(io.BytesIO(b"RP"))
+
+
+class TestFileRoundtrip:
+    def make_pack(self, cores=2, events=50):
+        matrix = [
+            [(i % 7, (LOAD, STORE, IFETCH)[i % 3], 1000 * c + i) for i in range(events)]
+            for c in range(cores)
+        ]
+        header = TraceHeader(workload="oltp", n_cores=cores, events_per_core=events, seed=1)
+        return TracePack(header, matrix)
+
+    def test_write_read_identical(self, tmp_path):
+        pack = self.make_pack()
+        path = tmp_path / "t.rpt"
+        pack.save(path)
+        loaded = TracePack.load(path)
+        assert loaded.header == pack.header
+        assert loaded.per_core_events == pack.per_core_events
+
+    def test_gzip_roundtrip(self, tmp_path):
+        pack = self.make_pack()
+        path = tmp_path / "t.rpt.gz"
+        pack.save(path)
+        assert TracePack.load(path).per_core_events == pack.per_core_events
+
+    def test_mismatched_matrix_rejected(self, tmp_path):
+        pack = self.make_pack()
+        bad_header = TraceHeader(workload="oltp", n_cores=3, events_per_core=50, seed=1)
+        with pytest.raises(ValueError):
+            TraceWriter(tmp_path / "x.rpt").write(bad_header, pack.per_core_events)
+
+    def test_truncated_body_rejected(self, tmp_path):
+        pack = self.make_pack()
+        path = tmp_path / "t.rpt"
+        pack.save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(ValueError):
+            TraceReader(path).read()
+
+    def test_invalid_kind_rejected(self, tmp_path):
+        header = TraceHeader(workload="w", n_cores=1, events_per_core=1, seed=0)
+        with pytest.raises(ValueError):
+            TraceWriter(tmp_path / "x.rpt").write(header, [[(1, 9, 0)]])
+
+
+class TestRecordTrace:
+    def test_records_requested_shape(self):
+        pack = record_trace("zeus", n_cores=2, events_per_core=300, seed=3,
+                            l2_lines=4096, l1i_lines=64)
+        assert pack.n_cores == 2
+        assert pack.events_per_core == 300
+        assert pack.workload == "zeus"
+        assert all(len(e) == 300 for e in pack.per_core_events)
+
+    def test_deterministic(self):
+        a = record_trace("art", n_cores=1, events_per_core=200, seed=5,
+                         l2_lines=4096, l1i_lines=64)
+        b = record_trace("art", n_cores=1, events_per_core=200, seed=5,
+                         l2_lines=4096, l1i_lines=64)
+        assert a.per_core_events == b.per_core_events
+
+    def test_iterator_wraps_around(self):
+        pack = record_trace("zeus", n_cores=1, events_per_core=10, seed=0,
+                            l2_lines=1024, l1i_lines=64)
+        it = pack.iterator(0)
+        first_pass = [next(it) for _ in range(10)]
+        second_pass = [next(it) for _ in range(10)]
+        assert first_pass == second_pass == pack.per_core_events[0]
+
+
+class TestReplay:
+    def _small_config(self):
+        from repro.params import CacheConfig, L2Config, SystemConfig
+
+        return SystemConfig(
+            n_cores=2,
+            l1i=CacheConfig(4 * 1024, 2),
+            l1d=CacheConfig(4 * 1024, 2),
+            l2=L2Config(64 * 1024, n_banks=2),
+        )
+
+    def test_replay_produces_result(self):
+        from repro.core.system import CMPSystem
+
+        cfg = self._small_config()
+        pack = record_trace("zeus", n_cores=2, events_per_core=600, seed=0,
+                            l2_lines=cfg.l2.n_lines, l1i_lines=cfg.l1i.n_lines)
+        r = CMPSystem(cfg, trace=pack).run(400, warmup_events=200)
+        assert r.workload == "zeus"
+        assert r.elapsed_cycles > 0
+
+    def test_replay_matches_live_generator(self):
+        """Replaying a recorded trace gives the identical result to the
+        live generator (same seed, same footprint sizing)."""
+        from repro.core.system import CMPSystem
+
+        cfg = self._small_config()
+        live = CMPSystem(cfg, "oltp", seed=2).run(400, warmup_events=100)
+        pack = record_trace("oltp", n_cores=2, events_per_core=600, seed=2,
+                            l2_lines=cfg.l2.n_lines, l1i_lines=cfg.l1i.n_lines)
+        replay = CMPSystem(cfg, trace=pack).run(400, warmup_events=100)
+        assert replay.elapsed_cycles == live.elapsed_cycles
+        assert replay.l2.demand_misses == live.l2.demand_misses
+
+    def test_core_count_mismatch_rejected(self):
+        from repro.core.system import CMPSystem
+
+        cfg = self._small_config()
+        pack = record_trace("zeus", n_cores=4, events_per_core=10, seed=0,
+                            l2_lines=1024, l1i_lines=64)
+        with pytest.raises(ValueError):
+            CMPSystem(cfg, trace=pack)
+
+    def test_workload_and_trace_mutually_exclusive(self):
+        from repro.core.system import CMPSystem
+
+        cfg = self._small_config()
+        pack = record_trace("zeus", n_cores=2, events_per_core=10, seed=0,
+                            l2_lines=1024, l1i_lines=64)
+        with pytest.raises(ValueError):
+            CMPSystem(cfg, "zeus", trace=pack)
+        with pytest.raises(ValueError):
+            CMPSystem(cfg)

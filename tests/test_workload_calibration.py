@@ -1,0 +1,81 @@
+"""Calibration tests: the workload specs encode the paper's Table 2-4
+characteristics.  These run on the value pools and spec fields only (no
+simulation), so they are fast and deterministic."""
+
+from __future__ import annotations
+
+from repro.workloads.registry import WORKLOADS, commercial_names, scientific_names
+from repro.workloads.values import ValueModel
+
+
+def pool_ratio(name: str) -> float:
+    return ValueModel(WORKLOADS[name].value_mix, seed=0).expected_compression_ratio()
+
+
+class TestCompressibilityCalibration:
+    """Table 3: commercial ratios up to 1.8; SPEComp 1.01-1.19."""
+
+    def test_commercial_ratios_in_band(self):
+        for w in commercial_names():
+            assert 1.3 <= pool_ratio(w) <= 2.0, (w, pool_ratio(w))
+
+    def test_scientific_ratios_low(self):
+        for w in scientific_names():
+            assert pool_ratio(w) <= 1.45, (w, pool_ratio(w))
+
+    def test_apsi_is_nearly_incompressible(self):
+        assert pool_ratio("apsi") < 1.1
+
+    def test_oltp_compresses_best_among_commercial(self):
+        ratios = {w: pool_ratio(w) for w in commercial_names()}
+        assert max(ratios, key=ratios.get) == "oltp"
+
+    def test_commercial_beats_scientific(self):
+        worst_commercial = min(pool_ratio(w) for w in commercial_names())
+        best_scientific = max(pool_ratio(w) for w in scientific_names())
+        assert worst_commercial > best_scientific
+
+
+class TestAccessPatternCalibration:
+    """Table 4's structural drivers."""
+
+    def test_commercial_instruction_footprints_exceed_l1i(self):
+        # L1I prefetch rates: commercial >> SPEComp (Table 4).
+        for w in commercial_names():
+            assert WORKLOADS[w].i_footprint_l1i_factor >= 1.0, w
+        for w in scientific_names():
+            assert WORKLOADS[w].i_footprint_l1i_factor < 1.0, w
+
+    def test_scientific_streams_much_longer(self):
+        shortest_sci = min(WORKLOADS[w].stream_length for w in scientific_names())
+        longest_com = max(WORKLOADS[w].stream_length for w in commercial_names())
+        assert shortest_sci > 4 * longest_com
+
+    def test_jbb_has_shortest_streams(self):
+        """jbb's 32% L2 accuracy comes from startup overshoot."""
+        lengths = {w: WORKLOADS[w].stream_length for w in commercial_names()}
+        assert min(lengths, key=lengths.get) == "jbb"
+
+    def test_jbb_streams_overshoot_l2_startup(self):
+        from repro.params import PrefetchConfig
+
+        assert WORKLOADS["jbb"].stream_length < PrefetchConfig().l2_startup
+
+    def test_scientific_latency_tolerance_higher(self):
+        avg = lambda names: sum(WORKLOADS[w].tolerance for w in names) / len(names)
+        assert avg(scientific_names()) > avg(commercial_names())
+
+    def test_fma3d_has_largest_working_set(self):
+        """fma3d: 27.7 GB/s demand, streaming far past any cache."""
+        ws = {w: WORKLOADS[w].ws_factor for w in WORKLOADS}
+        assert max(ws, key=ws.get) == "fma3d"
+
+    def test_apsi_working_set_near_capacity(self):
+        """The Figure 3 knee: apsi sits right at the capacity edge."""
+        assert 0.8 <= WORKLOADS["apsi"].ws_factor <= 1.3
+
+    def test_commercial_workloads_share_data(self):
+        for w in commercial_names():
+            assert WORKLOADS[w].shared_fraction >= 0.05, w
+        for w in scientific_names():
+            assert WORKLOADS[w].shared_fraction <= 0.05, w
