@@ -1,0 +1,103 @@
+"""Simulator throughput benchmark -> ``BENCH_throughput.json``.
+
+Measures end-to-end simulation throughput (trace events per wall-clock
+second) on two representative points — an uncompressed baseline system
+and the full prefetch+compression configuration — and records the
+numbers, machine-readably, at the repository root.
+
+Methodology note: wall-clock speed on shared containers drifts by up to
+~2x between sessions, so an events/sec number is only comparable to a
+*baseline measured in the same session*.  The committed JSON carries
+``baseline_events_per_sec`` values captured by alternating best-of-6
+A/B runs against the pre-optimization tree in one session; this bench
+preserves those baseline fields (and their recorded speedups) when it
+rewrites the file, updating only the current-tree measurements.  To
+re-derive a trustworthy speedup after the machine changes, re-measure
+both sides together (check out the old tree elsewhere and alternate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.experiment import make_config
+from repro.core.runner import default_jobs
+from repro.core.system import CMPSystem
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_throughput.json"
+
+#: (workload, config key) points measured; one plain, one fully loaded.
+POINTS = (("zeus", "base"), ("zeus", "pref_compr"), ("oltp", "pref_compr"))
+
+EVENTS = 6_000
+WARMUP = 10_000
+N_CORES = 8
+SCALE = 4
+REPS = 3  # best-of, to shed scheduler noise
+
+
+def _measure(workload: str, key: str) -> dict:
+    """Best-of-REPS events/sec for one simulation point."""
+    best_eps = 0.0
+    best_wall = float("inf")
+    total_events = (EVENTS + WARMUP) * N_CORES
+    for _ in range(REPS):
+        system = CMPSystem(
+            make_config(key, n_cores=N_CORES, scale=SCALE), workload, seed=0
+        )
+        start = time.perf_counter()
+        system.run(EVENTS, warmup_events=WARMUP)
+        wall = time.perf_counter() - start
+        if total_events / wall > best_eps:
+            best_eps = total_events / wall
+            best_wall = wall
+    return {
+        "events_per_sec": round(best_eps, 1),
+        "wall_seconds": round(best_wall, 4),
+        "events": total_events,
+    }
+
+
+def test_throughput_benchmark():
+    previous = {}
+    if OUTPUT.exists():
+        try:
+            previous = json.loads(OUTPUT.read_text())
+        except ValueError:
+            previous = {}
+    prev_points = previous.get("workloads", {})
+
+    workloads = {}
+    for workload, key in POINTS:
+        name = f"{workload}/{key}"
+        entry = _measure(workload, key)
+        assert entry["events_per_sec"] > 0
+        # Keep the same-session A/B baseline fields from the committed file.
+        old = prev_points.get(name, {})
+        for carried in ("baseline_events_per_sec", "speedup_vs_baseline"):
+            if carried in old:
+                entry[carried] = old[carried]
+        workloads[name] = entry
+
+    payload = {
+        "methodology": (
+            "events/sec = total trace events (warmup + measured, all cores) "
+            "/ wall seconds, best of "
+            f"{REPS}; baseline_* fields were measured by alternating best-of-6 "
+            "A/B runs against the pre-optimization tree in a single session "
+            "(wall-clock drift between sessions makes cross-session ratios "
+            "meaningless)"
+        ),
+        "events_per_core": EVENTS,
+        "warmup_per_core": WARMUP,
+        "n_cores": N_CORES,
+        "scale": SCALE,
+        "jobs": int(os.environ.get("REPRO_JOBS", "0")) or default_jobs(),
+        "workloads": workloads,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    assert OUTPUT.exists()

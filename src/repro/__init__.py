@@ -32,11 +32,15 @@ from repro.params import (
 from repro.core import (
     CMPSystem,
     CONFIG_FEATURES,
+    DiskCache,
     InteractionBreakdown,
     MissClassification,
+    ParallelRunner,
+    PointError,
     PrefetcherReport,
     SimulationResult,
     classify_misses,
+    clear_cache,
     interaction_coefficient,
     make_config,
     run_matrix,
@@ -70,6 +74,10 @@ __all__ = [
     "PrefetcherReport",
     "SimulationResult",
     "classify_misses",
+    "clear_cache",
+    "DiskCache",
+    "ParallelRunner",
+    "PointError",
     "interaction_coefficient",
     "make_config",
     "run_matrix",

@@ -46,6 +46,17 @@ class _Set:
 class CompressedSetCache:
     """The shared L2: banked, inclusive, optionally compressed."""
 
+    __slots__ = (
+        "config",
+        "n_sets",
+        "tags_per_set",
+        "total_segments",
+        "compressed",
+        "_sets",
+        "_map",
+        "_valid_count",
+    )
+
     def __init__(self, config: L2Config) -> None:
         self.config = config
         self.n_sets = config.n_sets
@@ -77,7 +88,14 @@ class CompressedSetCache:
         entry = self._map.get(line_addr)
         if entry is None or not entry.valid:
             raise KeyError(f"line {line_addr:#x} not resident")
-        touch(self._sets[self.set_index(line_addr)].valid_stack, entry)
+        touch(self._sets[line_addr % self.n_sets].valid_stack, entry)
+
+    def touch_entry(self, entry: TagEntry) -> None:
+        """Promote an already-probed entry to MRU without re-probing."""
+        stack = self._sets[entry.addr % self.n_sets].valid_stack
+        if stack[0] is not entry:
+            stack.remove(entry)
+            stack.insert(0, entry)
 
     def stack_depth(self, line_addr: int) -> int:
         """0-based LRU stack position of a resident line (0 = MRU)."""
@@ -121,14 +139,15 @@ class CompressedSetCache:
         """Insert a line, evicting as many LRU lines as segment space and
         tag availability require.  Returns the (possibly several) evictions.
         """
-        if self.probe(line_addr) is not None:
+        resident = self._map.get(line_addr)
+        if resident is not None and resident.valid:
             raise ValueError(f"line {line_addr:#x} already resident")
         if not self.compressed:
             segments = SEGMENTS_PER_LINE
         if not 1 <= segments <= SEGMENTS_PER_LINE:
             raise ValueError(f"segment count out of range: {segments}")
 
-        cset = self._sets[self.set_index(line_addr)]
+        cset = self._sets[line_addr % self.n_sets]
         evictions: List[Eviction] = []
         while cset.used_segments + segments > self.total_segments or not cset.victim_stack:
             evictions.append(self._evict_lru(cset))

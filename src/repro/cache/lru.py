@@ -13,6 +13,8 @@ T = TypeVar("T")
 
 def touch(stack: List[T], item: T) -> None:
     """Move ``item`` to the MRU (front) position."""
+    if stack[0] is item:  # already MRU: repeated touches are the common case
+        return
     stack.remove(item)
     stack.insert(0, item)
 

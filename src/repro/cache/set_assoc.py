@@ -16,7 +16,7 @@ from repro.cache.lru import touch
 from repro.params import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class Eviction:
     """What an insertion pushed out."""
 
@@ -31,6 +31,8 @@ class Eviction:
 
 class SetAssocCache:
     """LRU set-associative cache addressed by *line* address."""
+
+    __slots__ = ("config", "n_sets", "assoc", "victim_depth", "_sets", "_map", "_victims")
 
     def __init__(self, config: CacheConfig, victim_depth: int = 0) -> None:
         self.config = config
@@ -59,26 +61,48 @@ class SetAssocCache:
         entry = self._map.get(line_addr)
         if entry is None or not entry.valid:
             raise KeyError(f"line {line_addr:#x} not resident")
-        touch(self._sets[self.set_index(line_addr)], entry)
+        touch(self._sets[line_addr % self.n_sets], entry)
+
+    def touch_entry(self, entry: TagEntry) -> None:
+        """Promote an already-probed entry to MRU (hot-path variant that
+        skips the redundant map lookup)."""
+        stack = self._sets[entry.addr % self.n_sets]
+        if stack[0] is not entry:
+            stack.remove(entry)
+            stack.insert(0, entry)
 
     def insert(
         self,
         line_addr: int,
-        *,
         state: int = MSIState.SHARED,
         dirty: bool = False,
         prefetch: bool = False,
         fill_time: float = 0.0,
     ) -> Optional[Eviction]:
         """Insert a line at MRU, returning the eviction it caused (if any)."""
-        if self.probe(line_addr) is not None:
+        resident = self._map.get(line_addr)
+        if resident is not None and resident.valid:
             raise ValueError(f"line {line_addr:#x} already resident")
-        stack = self._sets[self.set_index(line_addr)]
-        entry = self._find_free(stack)
+        stack = self._sets[line_addr % self.n_sets]
+        # Invalid entries are kept at the stack tail (see invalidate), so
+        # the last slot is either a free frame or the true LRU line; no
+        # free-frame scan is needed.
+        entry = stack[-1]
         eviction = None
-        if entry is None:
-            entry = stack[-1]  # LRU
-            eviction = self._evict(entry)
+        if entry.valid:
+            # SetAssocCache._evict, inlined (the field resets are folded
+            # into the overwrites below; sharers/owner are reset here).
+            old = entry.addr
+            eviction = Eviction(old, entry.dirty, entry.prefetch_bit, entry.state)
+            self._map.pop(old, None)
+            if self.victim_depth:
+                victims = self._victims[old % self.n_sets]
+                if old in victims:
+                    victims.remove(old)
+                victims.insert(0, old)
+                del victims[self.victim_depth :]
+            entry.sharers = 0
+            entry.owner = -1
         entry.addr = line_addr
         entry.valid = True
         entry.state = state
@@ -86,7 +110,8 @@ class SetAssocCache:
         entry.prefetch_bit = prefetch
         entry.fill_time = fill_time
         self._map[line_addr] = entry
-        touch(stack, entry)
+        del stack[-1]
+        stack.insert(0, entry)
         return eviction
 
     def invalidate(self, line_addr: int) -> Optional[Eviction]:
@@ -94,7 +119,14 @@ class SetAssocCache:
         entry = self._map.get(line_addr)
         if entry is None or not entry.valid:
             return None
-        return self._evict(entry)
+        eviction = self._evict(entry)
+        # Keep freed frames at the stack tail so insert can always reuse
+        # the last slot without scanning (invalid frames never matter for
+        # LRU order — probe and touch skip them).
+        stack = self._sets[line_addr % self.n_sets]
+        stack.remove(entry)
+        stack.append(entry)
+        return eviction
 
     def victim_match(self, line_addr: int) -> bool:
         """Was this line recently evicted from its set (harmful-prefetch probe)?"""
@@ -110,25 +142,21 @@ class SetAssocCache:
     def resident_lines(self) -> int:
         return sum(1 for e in self._map.values() if e.valid)
 
-    def _find_free(self, stack: List[TagEntry]) -> Optional[TagEntry]:
-        for entry in stack:
-            if not entry.valid:
-                return entry
-        return None
-
     def _evict(self, entry: TagEntry) -> Eviction:
-        eviction = Eviction(
-            addr=entry.addr,
-            dirty=entry.dirty,
-            prefetch_untouched=entry.prefetch_bit,
-            state=entry.state,
-        )
-        self._map.pop(entry.addr, None)
+        addr = entry.addr
+        eviction = Eviction(addr, entry.dirty, entry.prefetch_bit, entry.state)
+        self._map.pop(addr, None)
         if self.victim_depth:
-            victims = self._victims[self.set_index(entry.addr)]
-            if entry.addr in victims:
-                victims.remove(entry.addr)
-            victims.insert(0, entry.addr)
+            victims = self._victims[addr % self.n_sets]
+            if addr in victims:
+                victims.remove(addr)
+            victims.insert(0, addr)
             del victims[self.victim_depth :]
-        entry.reset()
+        # TagEntry.reset, inlined (invalidate but retain the address).
+        entry.valid = False
+        entry.state = MSIState.INVALID
+        entry.dirty = False
+        entry.prefetch_bit = False
+        entry.sharers = 0
+        entry.owner = -1
         return eviction

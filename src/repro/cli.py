@@ -4,6 +4,8 @@
 
     python -m repro run zeus --config pref_compr --events 10000
     python -m repro sweep --workloads zeus,jbb --configs base,pref,compr
+    python -m repro sweep --workloads zeus,jbb --jobs 4
+    python -m repro cache stats
     python -m repro record zeus trace.rpt --events 20000
     python -m repro replay trace.rpt --config compr
     python -m repro table5
@@ -89,8 +91,50 @@ def cmd_run(args) -> int:
 def cmd_sweep(args) -> int:
     workloads = args.workloads.split(",") if args.workloads else all_names()
     keys = args.configs.split(",")
-    results = [_run_one(w, k, args) for w in workloads for k in keys]
+    coords = [(w, k) for w in workloads for k in keys]
+    if args.jobs != 1 and len(coords) > 1:
+        from repro.core.runner import ParallelRunner, PointError
+
+        kwargs = dict(
+            seed=args.seed,
+            events=args.events,
+            warmup=args.warmup if args.warmup is not None else args.events,
+            n_cores=args.cores,
+            scale=args.scale,
+            bandwidth_gbs=args.bandwidth or None,
+            infinite_bandwidth=args.bandwidth == 0,
+            use_cache=False,
+        )
+        points = [((w, k), kwargs) for w, k in coords]
+        outcomes = ParallelRunner(args.jobs or None).run_points(points)
+        results = []
+        failed = 0
+        for outcome in outcomes:
+            if isinstance(outcome, PointError):
+                failed += 1
+                print(f"error: {outcome.workload}/{outcome.key}: {outcome.error}",
+                      file=sys.stderr)
+            else:
+                results.append(outcome)
+        _emit(results, args)
+        return 1 if failed else 0
+    results = [_run_one(w, k, args) for w, k in coords]
     _emit(results, args)
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.core.diskcache import DiskCache
+
+    store = DiskCache()
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
+        return 0
+    info = store.stats()
+    print(f"cache root: {info['root']}")
+    print(f"entries:    {info['entries']}")
+    print(f"bytes:      {info['bytes']}")
     return 0
 
 
@@ -177,8 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="simulate a workload x config matrix")
     p.add_argument("--workloads", default="", help="comma list (default: all)")
     p.add_argument("--configs", default="base,pref,compr,pref_compr")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = REPRO_JOBS/cpu count)")
     _add_run_args(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("table5", help="reproduce Table 5 speedups/interactions")
     p.add_argument("--workloads", default="", help="comma list (default: all)")

@@ -11,11 +11,14 @@ from repro.core.interaction import (
 from repro.core.missclass import MissClassification, classify_misses
 from repro.core.experiment import (
     CONFIG_FEATURES,
+    clear_cache,
     make_config,
     run_matrix,
     run_point,
     run_seeds,
 )
+from repro.core.diskcache import DiskCache
+from repro.core.runner import ParallelRunner, PointError
 from repro.core.sweep import Sweep, SweepResults
 from repro.core.bottleneck import CycleBreakdown, analyze
 from repro.core.validate import validate_hierarchy
@@ -31,10 +34,14 @@ __all__ = [
     "MissClassification",
     "classify_misses",
     "CONFIG_FEATURES",
+    "clear_cache",
     "make_config",
     "run_matrix",
     "run_point",
     "run_seeds",
+    "DiskCache",
+    "ParallelRunner",
+    "PointError",
     "Sweep",
     "SweepResults",
     "CycleBreakdown",

@@ -1,0 +1,146 @@
+"""Persistent on-disk result cache.
+
+Simulation points are pure functions of (system configuration, workload,
+seed, event counts), so their results can be stored content-addressed
+and reused across processes — a warm sweep in a fresh interpreter does
+no simulation at all.  Keys are a SHA-256 over the canonical JSON of the
+full :class:`~repro.params.SystemConfig` plus the run parameters and a
+format version, so *any* config change (including future fields) yields
+a different key rather than a stale hit.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one result per file in the
+full-fidelity form of :func:`repro.report.export.result_to_full_dict`.
+Writes are atomic (temp file + ``os.replace``), so concurrent writers —
+e.g. :class:`repro.core.runner.ParallelRunner` workers — at worst both
+compute the same point and one rename wins.
+
+Environment knobs:
+
+* ``REPRO_CACHE=0``      — disable the disk cache entirely
+* ``REPRO_CACHE_DIR=...`` — store under a different root
+  (default ``.repro_cache/`` in the working directory)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, Optional
+
+from repro.core.results import SimulationResult
+from repro.params import SystemConfig
+from repro.report.export import (
+    RESULT_SCHEMA_VERSION,
+    result_from_dict,
+    result_to_full_dict,
+)
+
+#: Bump to invalidate every existing cache entry (key derivation change).
+CACHE_FORMAT_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def cache_enabled() -> bool:
+    """The disk cache is on unless ``REPRO_CACHE=0``."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
+def point_key(
+    config: SystemConfig,
+    workload: str,
+    seed: int,
+    events: int,
+    warmup: int,
+) -> str:
+    """Stable content hash identifying one simulation point."""
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "schema": RESULT_SCHEMA_VERSION,
+        "workload": workload,
+        "seed": seed,
+        "events": events,
+        "warmup": warmup,
+        "config": asdict(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """Content-addressed store of simulation results under one root."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Load a cached result, or None on miss *or* unreadable entry
+        (a corrupt file degrades to a recompute, never an error)."""
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            return result_from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store a result atomically; failures are swallowed (the cache
+        is an accelerator, not a correctness dependency)."""
+        path = self.path_for(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(result_to_full_dict(result), fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    # -- maintenance (the ``repro cache`` CLI) ------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        entries = 0
+        total_bytes = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if not name.endswith(".json"):
+                    continue
+                entries += 1
+                try:
+                    total_bytes += os.path.getsize(os.path.join(dirpath, name))
+                except OSError:
+                    pass
+        return {"root": self.root, "entries": entries, "bytes": total_bytes}
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root, topdown=False):
+            for name in filenames:
+                if name.endswith(".json") or ".json.tmp." in name:
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+            if dirpath != self.root:
+                try:
+                    os.rmdir(dirpath)
+                except OSError:
+                    pass
+        return removed

@@ -2,15 +2,21 @@
 
 The paper's evaluation sweeps eight workloads across feature
 combinations; every bench in ``benchmarks/`` builds on the helpers here.
-Runs are memoised in-process because most figures share configurations
-(Figure 9 and Table 5, for example, reuse the same four runs).
+Runs are cached at two levels: a bounded in-process memo (most figures
+share configurations — Figure 9 and Table 5, for example, reuse the
+same four runs) backed by the persistent disk cache
+(:mod:`repro.core.diskcache`), which survives across processes.
 
 Environment knobs (all optional):
 
-* ``REPRO_EVENTS``  — measured trace events per core (default 20000)
-* ``REPRO_WARMUP``  — warmup events per core (default = REPRO_EVENTS)
-* ``REPRO_SEEDS``   — seeds per data point (default 1; >1 adds 95% CIs)
-* ``REPRO_SCALE``   — capacity scale divisor (default 4; 1 = full scale)
+* ``REPRO_EVENTS``   — measured trace events per core (default 20000)
+* ``REPRO_WARMUP``   — warmup events per core (default = REPRO_EVENTS)
+* ``REPRO_SEEDS``    — seeds per data point (default 1; >1 adds 95% CIs)
+* ``REPRO_SCALE``    — capacity scale divisor (default 4; 1 = full scale)
+* ``REPRO_MEMO_CAP`` — max in-process memoised results (default 512)
+* ``REPRO_CACHE``    — ``0`` disables the on-disk cache
+* ``REPRO_CACHE_DIR``— on-disk cache root (default ``.repro_cache/``)
+* ``REPRO_JOBS``     — default worker count for parallel sweeps
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core import diskcache
 from repro.core.results import SimulationResult
 from repro.core.system import CMPSystem
 from repro.params import SystemConfig
@@ -80,7 +87,65 @@ def make_config(
     return cfg.with_features(**CONFIG_FEATURES[key])
 
 
+# In-process memo: a bounded LRU (plain dict in recency order) so long
+# sweep sessions cannot grow it without limit.  The disk cache below it
+# has no bound; ``repro cache clear`` manages that one.
 _CACHE: Dict[Tuple, SimulationResult] = {}
+
+
+def default_memo_cap() -> int:
+    return env_int("REPRO_MEMO_CAP", 512)
+
+
+def _memo_get(key: Tuple) -> Optional[SimulationResult]:
+    result = _CACHE.get(key)
+    if result is not None:
+        del _CACHE[key]  # refresh recency
+        _CACHE[key] = result
+    return result
+
+
+def _memo_put(key: Tuple, result: SimulationResult) -> None:
+    if key in _CACHE:
+        del _CACHE[key]
+    else:
+        cap = default_memo_cap()
+        while len(_CACHE) >= cap > 0:
+            del _CACHE[next(iter(_CACHE))]  # evict LRU
+    _CACHE[key] = result
+
+
+def point_cache_key(
+    workload: str,
+    key: str,
+    *,
+    seed: int = 0,
+    events: Optional[int] = None,
+    warmup: Optional[int] = None,
+    n_cores: int = 8,
+    scale: Optional[int] = None,
+    bandwidth_gbs: Optional[float] = 20.0,
+    infinite_bandwidth: bool = False,
+) -> Tuple:
+    """The in-process memo key for one run_point argument set."""
+    return (
+        workload,
+        key,
+        seed,
+        events if events is not None else default_events(),
+        warmup if warmup is not None else default_warmup(),
+        n_cores,
+        scale if scale is not None else default_scale(),
+        bandwidth_gbs,
+        infinite_bandwidth,
+    )
+
+
+def remember_point(result: SimulationResult, **coords) -> None:
+    """Seed the in-process memo with an externally computed result
+    (e.g. one returned by a :class:`repro.core.runner.ParallelRunner`
+    worker), so later serial lookups reuse it."""
+    _memo_put(point_cache_key(**coords), result)
 
 
 def run_point(
@@ -96,14 +161,22 @@ def run_point(
     infinite_bandwidth: bool = False,
     use_cache: bool = True,
 ) -> SimulationResult:
-    """Run one (workload, config) data point, memoised."""
+    """Run one (workload, config) data point.
+
+    Lookup order: in-process memo, then the persistent disk cache, then
+    simulate (and populate both).  ``use_cache=False`` bypasses all
+    caching in both directions.
+    """
     events = events if events is not None else default_events()
     warmup = warmup if warmup is not None else default_warmup()
-    cache_key = (workload, key, seed, events, warmup, n_cores,
-                 scale if scale is not None else default_scale(),
-                 bandwidth_gbs, infinite_bandwidth)
-    if use_cache and cache_key in _CACHE:
-        return _CACHE[cache_key]
+    cache_key = point_cache_key(
+        workload, key, seed=seed, events=events, warmup=warmup, n_cores=n_cores,
+        scale=scale, bandwidth_gbs=bandwidth_gbs, infinite_bandwidth=infinite_bandwidth,
+    )
+    if use_cache:
+        result = _memo_get(cache_key)
+        if result is not None:
+            return result
     config = make_config(
         key,
         n_cores=n_cores,
@@ -111,31 +184,81 @@ def run_point(
         bandwidth_gbs=bandwidth_gbs,
         infinite_bandwidth=infinite_bandwidth,
     )
+    disk = use_cache and diskcache.cache_enabled()
+    if disk:
+        disk_key = diskcache.point_key(config, workload, seed, events, warmup)
+        store = diskcache.DiskCache()
+        result = store.get(disk_key)
+        if result is not None:
+            _memo_put(cache_key, result)
+            return result
     system = CMPSystem(config, workload, seed=seed)
     result = system.run(events, warmup_events=warmup, config_name=key)
     if use_cache:
-        _CACHE[cache_key] = result
+        _memo_put(cache_key, result)
+        if disk:
+            store.put(disk_key, result)
     return result
 
 
-def run_seeds(workload: str, key: str, seeds: Optional[int] = None, **kwargs) -> List[SimulationResult]:
-    """One result per seed (the paper's variability methodology)."""
+def _run_parallel(
+    points: List[Tuple[Tuple[str, str], Dict]], jobs: Optional[int]
+) -> List[SimulationResult]:
+    """Fan points out to worker processes; raise on any failed point."""
+    from repro.core.runner import ParallelRunner, PointError
+
+    outcomes = ParallelRunner(jobs).run_points(points)
+    for outcome in outcomes:
+        if isinstance(outcome, PointError):
+            raise RuntimeError(
+                f"simulation of {outcome.workload}/{outcome.key} failed: "
+                f"{outcome.error}\n{outcome.traceback}"
+            )
+    for ((workload, key), kwargs), result in zip(points, outcomes):
+        remember_point(result, workload=workload, key=key, **kwargs)
+    return outcomes
+
+
+def run_seeds(
+    workload: str,
+    key: str,
+    seeds: Optional[int] = None,
+    jobs: Optional[int] = None,
+    **kwargs,
+) -> List[SimulationResult]:
+    """One result per seed (the paper's variability methodology).
+
+    ``jobs`` > 1 runs the seeds across worker processes.
+    """
     n = seeds if seeds is not None else default_seeds()
+    if jobs is not None and jobs > 1 and n > 1:
+        points = [((workload, key), dict(kwargs, seed=s)) for s in range(n)]
+        return _run_parallel(points, jobs)
     return [run_point(workload, key, seed=s, **kwargs) for s in range(n)]
 
 
 def run_matrix(
     workloads: Iterable[str],
     keys: Iterable[str],
+    jobs: Optional[int] = None,
     **kwargs,
 ) -> Dict[Tuple[str, str], SimulationResult]:
-    """Cartesian sweep used by most figures."""
-    return {
-        (w, k): run_point(w, k, **kwargs)
-        for w in workloads
-        for k in keys
-    }
+    """Cartesian sweep used by most figures.
+
+    ``jobs`` > 1 runs the grid across worker processes; the returned
+    mapping is identical to a serial run.
+    """
+    coords = [(w, k) for w in workloads for k in keys]
+    if jobs is not None and jobs > 1 and len(coords) > 1:
+        points = [((w, k), dict(kwargs)) for w, k in coords]
+        results = _run_parallel(points, jobs)
+        return dict(zip(coords, results))
+    return {(w, k): run_point(w, k, **kwargs) for w, k in coords}
 
 
-def clear_cache() -> None:
+def clear_cache(disk: bool = False) -> None:
+    """Drop the in-process memo; with ``disk=True`` also empty the
+    persistent on-disk cache."""
     _CACHE.clear()
+    if disk:
+        diskcache.DiskCache().clear()

@@ -113,6 +113,16 @@ class MemoryHierarchy:
         self._bank_free = [0.0] * config.l2.n_banks
         self._l2_access_count = 0
         self._adaptive = pf_cfg.adaptive and pf_cfg.enabled
+        # Hot-path scalars: the access path runs once per trace event, so
+        # repeated ``self.config.*`` attribute chains are hoisted here.
+        self._l1i_lat = float(config.l1i.hit_latency)
+        self._l1d_lat = float(config.l1d.hit_latency)
+        self._l2_hit_lat = float(config.l2.hit_latency)
+        self._decompression_cycles = config.l2.decompression_cycles
+        self._n_banks = config.l2.n_banks
+        self._pf_on = pf_cfg.enabled
+        self._noc_on = self.noc.enabled
+        self._rebuild_routes()
         # ISCA'04 adaptive compression: benefit/cost counter deciding
         # whether newly-filled compressible lines are stored compressed.
         self.compression_policy = AdaptiveCompressionPolicy(
@@ -125,19 +135,80 @@ class MemoryHierarchy:
     # public entry point
     # ------------------------------------------------------------------
 
-    def access(self, core: int, kind: int, addr: int, now: float) -> Tuple[float, bool]:
-        """Perform one demand access; returns (latency, l1_hit)."""
-        if kind == IFETCH:
-            l1, pf, stats = self.l1i[core], self.pf_l1i[core], self.l1i_stats
-        else:
-            l1, pf, stats = self.l1d[core], self.pf_l1d[core], self.l1d_stats
+    def _rebuild_routes(self) -> None:
+        """Precompute per-(core, kind) routing tuples for the access path.
 
-        entry = l1.probe(addr)
-        if entry is not None:
-            result = self._l1_hit(core, kind, addr, now, l1, pf, stats, entry)
+        Each tuple is ``(l1, pf, stats, hist, fill_latency, level)``.  The
+        stats and histogram objects are replaced by :meth:`reset_stats`,
+        so it rebuilds these as well.
+        """
+        hist_i = self.latency_hist["l1i"]
+        hist_d = self.latency_hist["l1d"]
+        self._route_i = [
+            (l1, pf, self.l1i_stats, hist_i, self._l1i_lat, "l1i")
+            for l1, pf in zip(self.l1i, self.pf_l1i)
+        ]
+        self._route_d = [
+            (l1, pf, self.l1d_stats, hist_d, self._l1d_lat, "l1d")
+            for l1, pf in zip(self.l1d, self.pf_l1d)
+        ]
+        self._pf2_stats = self.pf_stats["l2"]
+        self._l2_miss_hist = self.latency_hist["l2_miss"]
+
+    def access(self, core: int, kind: int, addr: int, now: float) -> Tuple[float, bool]:
+        """Perform one demand access; returns (latency, l1_hit).
+
+        The hit path (the most common event) is inlined here from
+        :meth:`_l1_hit`'s logic; the two must stay in sync.
+        """
+        route = self._route_i[core] if kind == IFETCH else self._route_d[core]
+        l1 = route[0]
+        entry = l1._map.get(addr)  # SetAssocCache.probe, inlined
+        if entry is not None and entry.valid:
+            pf, stats = route[1], route[2]
+            latency = 0.0
+            pure_hit = True
+            if entry.fill_time > now:
+                latency = entry.fill_time - now
+                pure_hit = False
+                if entry.prefetch_bit:
+                    stats.partial_hits += 1
+                    pf.adaptive.on_useful()
+                    self.taxonomy.on_used(route[5])
+                    entry.prefetch_bit = False
+            elif entry.prefetch_bit:
+                stats.prefetch_hits += 1
+                pf.stats.useful += 1
+                pf.adaptive.on_useful()
+                self.taxonomy.on_used(route[5])
+                entry.prefetch_bit = False
+            stats.demand_hits += 1
+            # SetAssocCache.touch_entry, inlined.
+            stack = l1._sets[addr % l1.n_sets]
+            if stack[0] is not entry:
+                stack.remove(entry)
+                stack.insert(0, entry)
+            if self._pf_on:
+                for p in pf.observe_hit(addr):
+                    self._issue_l1_prefetch(core, kind, p, now)
+            if kind == STORE:
+                if entry.state == MSIState.SHARED:
+                    latency += self._upgrade(core, addr, now)
+                    entry.state = MSIState.MODIFIED
+                    stats.upgrades += 1
+                entry.dirty = True
+            result = (latency, pure_hit)
         else:
-            result = self._l1_miss(core, kind, addr, now, l1, pf, stats)
-        self.latency_hist["l1i" if kind == IFETCH else "l1d"].record(result[0])
+            result = self._l1_miss(core, kind, addr, now, route)
+            latency = result[0]
+        # LatencyHistogram.record, inlined (one call per trace event).
+        hist = route[3]
+        bucket = int(latency).bit_length()  # latencies are non-negative
+        if bucket > 24:  # LatencyHistogram.MAX_BUCKET
+            bucket = 24
+        hist._buckets[bucket] += 1
+        hist.count += 1
+        hist.total += latency
         return result
 
     def reset_stats(self) -> None:
@@ -166,79 +237,39 @@ class MemoryHierarchy:
         self.dram.demand_requests = 0
         self.dram.prefetch_requests = 0
         self.dram.stalled_issues = 0
+        self._rebuild_routes()
 
     # ------------------------------------------------------------------
     # L1 paths
     # ------------------------------------------------------------------
 
-    def _l1_hit(self, core, kind, addr, now, l1, pf, stats, entry) -> Tuple[float, bool]:
-        level = "l1i" if kind == IFETCH else "l1d"
-        latency = 0.0
-        pure_hit = True
-        if entry.fill_time > now:
-            latency = entry.fill_time - now
-            pure_hit = False
-            if entry.prefetch_bit:
-                stats.partial_hits += 1
-                pf.adaptive.on_useful()
-                self.taxonomy.on_used(level)
-                entry.prefetch_bit = False
-        elif entry.prefetch_bit:
-            stats.prefetch_hits += 1
-            pf.stats.useful += 1
-            pf.adaptive.on_useful()
-            self.taxonomy.on_used(level)
-            entry.prefetch_bit = False
-        stats.demand_hits += 1
-        l1.touch(addr)
-
-        for p in pf.observe_hit(addr):
-            self._issue_l1_prefetch(core, kind, p, now)
-
-        if kind == STORE:
-            if entry.state == MSIState.SHARED:
-                latency += self._upgrade(core, addr, now)
-                entry.state = MSIState.MODIFIED
-                stats.upgrades += 1
-            entry.dirty = True
-        return latency, pure_hit
-
-    def _l1_miss(self, core, kind, addr, now, l1, pf, stats) -> Tuple[float, bool]:
+    def _l1_miss(self, core, kind, addr, now, route) -> Tuple[float, bool]:
+        l1, pf, stats, _hist, fill_lat, level = route
         stats.demand_misses += 1
         if self._adaptive and l1.victim_match(addr) and l1.set_has_prefetched_line(addr):
             pf.stats.harmful += 1
             pf.adaptive.on_harmful()
-            self.taxonomy.on_victim_live("l1i" if kind == IFETCH else "l1d")
+            self.taxonomy.on_victim_live(level)
 
         store = kind == STORE
-        l2_latency = self._l2_access(core, addr, now, store=store, demand=True)
-        total = self.config.l1i.hit_latency + l2_latency
-        if self.noc.enabled:
+        l2_latency = self._l2_access(core, addr, now, store, True)
+        # The refill pays its own L1's fill latency: L1I for instruction
+        # fetches, L1D for loads and stores.
+        total = fill_lat + l2_latency
+        if self._noc_on:
             # The fill crosses the on-chip network from the L2 bank.
             total = self.noc.transfer_line(core, now + total) - now
-        self._fill_l1(
-            core, kind, addr, store=store, prefetch=False, fill_time=now + total
-        )
-        for p in pf.observe_miss(addr):
-            self._issue_l1_prefetch(core, kind, p, now)
-        return total, False
-
-    def _fill_l1(self, core, kind, addr, *, store, prefetch, fill_time) -> None:
-        if kind == IFETCH:
-            l1, pf, stats = self.l1i[core], self.pf_l1i[core], self.l1i_stats
-        else:
-            l1, pf, stats = self.l1d[core], self.pf_l1d[core], self.l1d_stats
-        state = MSIState.MODIFIED if store else MSIState.SHARED
+        # Fill the L1 (no L2 probe needed: the _l2_access above — hit path
+        # or miss fill — already recorded this core in the directory).
         ev = l1.insert(
-            addr, state=state, dirty=store, prefetch=prefetch, fill_time=fill_time
+            addr, MSIState.MODIFIED if store else MSIState.SHARED, store, False, now + total
         )
-        l2e = self.l2.probe(addr)
-        if l2e is not None:
-            self.directory.add_sharer(l2e, core)
-            if store:
-                self.directory.set_owner(l2e, core)
         if ev is not None:
-            self._handle_l1_eviction(core, ev, pf, stats, "l1i" if kind == IFETCH else "l1d")
+            self._handle_l1_eviction(core, ev, pf, stats, level)
+        if self._pf_on:
+            for p in pf.observe_miss(addr):
+                self._issue_l1_prefetch(core, kind, p, now)
+        return total, False
 
     def _handle_l1_eviction(self, core, ev: Eviction, pf, stats, level: str) -> None:
         stats.evictions += 1
@@ -246,9 +277,14 @@ class MemoryHierarchy:
             pf.stats.useless += 1
             pf.adaptive.on_useless()
             self.taxonomy.on_evicted_unused(level)
-        l2e = self.l2.probe(ev.addr)
+        l2e = self.l2._map.get(ev.addr)  # CompressedSetCache.probe, inlined
+        if l2e is not None and not l2e.valid:
+            l2e = None
         if l2e is not None:
-            self.directory.remove_sharer(l2e, core)
+            # Directory.remove_sharer, inlined.
+            l2e.sharers &= ~(1 << core)
+            if l2e.owner == core:
+                l2e.owner = -1
             if ev.dirty:
                 l2e.dirty = True
                 stats.writebacks += 1
@@ -283,7 +319,6 @@ class MemoryHierarchy:
         core: int,
         addr: int,
         now: float,
-        *,
         store: bool,
         demand: bool,
         prefetch: bool = False,
@@ -296,21 +331,36 @@ class MemoryHierarchy:
         L2 prefetcher is triggered by L1-prefetch-induced misses too (the
         paper "allows L1 prefetches to trigger L2 prefetches").
         """
-        self._sample_effective_size()
-        bank_delay = self._bank_delay(addr, now)
-        l2cfg = self.config.l2
-        entry = self.l2.probe(addr)
+        count = self._l2_access_count + 1
+        self._l2_access_count = count
+        if not count % _SAMPLE_EVERY:
+            self.compression_stats.record_sample(self.l2.resident_lines())
+        # Inline bank busy-until accounting (one call per L2 access saved).
+        bank_free = self._bank_free
+        bank = addr % self._n_banks
+        start = bank_free[bank]
+        if start < now:
+            start = now
+        bank_free[bank] = start + _BANK_OCCUPANCY
+        bank_delay = start - now
+
+        l2 = self.l2
+        l2s = self.l2_stats
+        entry = l2._map.get(addr)  # CompressedSetCache.probe, inlined
+        if entry is not None and not entry.valid:
+            entry = None
         pf2 = self.pf_l2[core]
 
         if entry is not None:
-            latency = bank_delay + l2cfg.hit_latency
-            line_compressed = self.l2.compressed and entry.segments < SEGMENTS_PER_LINE
+            latency = bank_delay + self._l2_hit_lat
+            line_compressed = l2.compressed and entry.segments < SEGMENTS_PER_LINE
             if line_compressed:
-                latency += l2cfg.decompression_cycles
-                self.l2_stats.compressed_hits += 1
-            if self.compression_policy.enabled:
-                self.compression_policy.on_hit(
-                    self.l2.stack_depth(addr), l2cfg.uncompressed_assoc, line_compressed
+                latency += self._decompression_cycles
+                l2s.compressed_hits += 1
+            cp = self.compression_policy
+            if cp.enabled:
+                cp.on_hit(
+                    l2.stack_depth(addr), self.config.l2.uncompressed_assoc, line_compressed
                 )
             # The prefetch bit resets on the *first access* to the line —
             # including an L1 prefetch consuming an L2-prefetched line
@@ -319,20 +369,24 @@ class MemoryHierarchy:
             if entry.fill_time > now:
                 latency = max(latency, entry.fill_time - now)
                 if first_access and entry.prefetch_bit:
-                    self.l2_stats.partial_hits += 1
+                    l2s.partial_hits += 1
                     self.l2_adaptive.on_useful()
                     self.taxonomy.on_used("l2")
                     entry.prefetch_bit = False
             if first_access:
                 if demand:
-                    self.l2_stats.demand_hits += 1
+                    l2s.demand_hits += 1
                 if entry.prefetch_bit:
-                    self.l2_stats.prefetch_hits += 1
-                    self.pf_stats["l2"].useful += 1
+                    l2s.prefetch_hits += 1
+                    self._pf2_stats.useful += 1
                     self.l2_adaptive.on_useful()
                     self.taxonomy.on_used("l2")
                 entry.prefetch_bit = False
-            self.l2.touch(addr)
+            # CompressedSetCache.touch_entry, inlined.
+            stack = l2._sets[addr % l2.n_sets].valid_stack
+            if stack[0] is not entry:
+                stack.remove(entry)
+                stack.insert(0, entry)
 
             if store:
                 latency += self._invalidate_other_sharers(entry, core)
@@ -343,9 +397,9 @@ class MemoryHierarchy:
                 self._downgrade_owner(entry)
                 latency += _INTERVENTION_COST
             if demand or from_l1_prefetch:
-                self.directory.add_sharer(entry, core)
+                entry.sharers |= 1 << core  # Directory.add_sharer, inlined
 
-            if demand:
+            if demand and self._pf_on:
                 for p in pf2.observe_hit(addr):
                     self._issue_l2_prefetch(core, p, now)
             return latency
@@ -359,41 +413,34 @@ class MemoryHierarchy:
             if hit is not None:
                 return hit
         if demand:
-            self.l2_stats.demand_misses += 1
+            l2s.demand_misses += 1
             if (
-                self.config.prefetch.enabled
-                and self.l2.victim_match(addr)
-                and self.l2.set_has_prefetched_line(addr)
+                self._pf_on
+                and l2.victim_match(addr)
+                and l2.set_has_prefetched_line(addr)
             ):
                 self.taxonomy.on_victim_live("l2")
                 if self._adaptive:
-                    self.pf_stats["l2"].harmful += 1
+                    self._pf2_stats.harmful += 1
                     self.l2_adaptive.on_harmful()
 
         data_done, segments = self._fetch_line(
-            core, addr, now + bank_delay + l2cfg.hit_latency, demand=demand
+            core, addr, now + bank_delay + self._l2_hit_lat, demand
         )
         latency = data_done - now
         if demand:
-            self.latency_hist["l2_miss"].record(latency)
+            self._l2_miss_hist.record(latency)
 
         self._fill_l2(
-            core,
-            addr,
-            segments,
-            now=now,
-            fill_time=data_done,
-            store=store,
-            demand=demand,
-            prefetch=prefetch,
-            from_l1_prefetch=from_l1_prefetch,
+            core, addr, segments, now, data_done, store, demand, prefetch,
+            from_l1_prefetch,
         )
-        if demand or from_l1_prefetch:
+        if (demand or from_l1_prefetch) and self._pf_on:
             for p in pf2.observe_miss(addr):
                 self._issue_l2_prefetch(core, p, now)
         return latency
 
-    def _fetch_line(self, core: int, addr: int, request_ready: float, *, demand: bool):
+    def _fetch_line(self, core: int, addr: int, request_ready: float, demand: bool):
         """Fetch a line from memory: request pins -> DRAM -> data pins.
 
         Returns ``(data_arrival_time, segments_as_stored)``.
@@ -425,15 +472,8 @@ class MemoryHierarchy:
             self.l2_adaptive.on_useful()
             self.taxonomy.on_used("l2")
         self._fill_l2(
-            core,
-            addr,
-            entry.segments,
-            now=now,
-            fill_time=now + latency,
-            store=store,
-            demand=demand,
-            prefetch=False,
-            from_l1_prefetch=from_l1_prefetch,
+            core, addr, entry.segments, now, now + latency, store, demand,
+            False, from_l1_prefetch,
         )
         if demand:
             for p in self.pf_l2[core].observe_hit(addr):
@@ -445,7 +485,6 @@ class MemoryHierarchy:
         core,
         addr,
         segments,
-        *,
         now,
         fill_time,
         store,
@@ -541,32 +580,31 @@ class MemoryHierarchy:
     def _issue_l1_prefetch(self, core: int, kind: int, addr: int, now: float) -> None:
         if addr < 0:
             return
-        l1 = self.l1i[core] if kind == IFETCH else self.l1d[core]
-        pf = self.pf_l1i[core] if kind == IFETCH else self.pf_l1d[core]
-        if l1.probe(addr) is not None:
+        route = self._route_i[core] if kind == IFETCH else self._route_d[core]
+        l1, pf = route[0], route[1]
+        l1e = l1._map.get(addr)  # SetAssocCache.probe, inlined
+        if l1e is not None and l1e.valid:
             return
-        if self.l2.probe(addr) is None and not self.dram.can_issue(core, now):
+        l2e = self.l2._map.get(addr)  # CompressedSetCache.probe, inlined
+        if (l2e is None or not l2e.valid) and not self.dram.can_issue(core, now):
             pf.stats.dropped += 1
             return
         pf.stats.issued += 1
-        self.taxonomy.on_issued("l1i" if kind == IFETCH else "l1d")
-        latency = self._l2_access(
-            core, addr, now, store=False, demand=False, prefetch=True, from_l1_prefetch=True
-        )
-        self._fill_l1(
-            core,
-            kind,
-            addr,
-            store=False,
-            prefetch=True,
-            fill_time=now + self.config.l1i.hit_latency + latency,
-        )
+        self.taxonomy.on_issued(route[5])
+        latency = self._l2_access(core, addr, now, False, False, True, True)
+        # The prefetched fill pays its own L1's fill latency (L1I for
+        # instruction-side prefetches, L1D for data-side ones).  The L2
+        # side of the directory was recorded by the _l2_access above.
+        ev = l1.insert(addr, MSIState.SHARED, False, True, now + route[4] + latency)
+        if ev is not None:
+            self._handle_l1_eviction(core, ev, pf, route[2], route[5])
 
     def _issue_l2_prefetch(self, core: int, addr: int, now: float) -> None:
         if addr < 0:
             return
-        pf_stats = self.pf_stats["l2"]
-        if self.l2.probe(addr) is not None:
+        pf_stats = self._pf2_stats
+        l2e = self.l2._map.get(addr)  # CompressedSetCache.probe, inlined
+        if l2e is not None and l2e.valid:
             return
         if self.stream_buffers is not None and self.stream_buffers[core].contains(addr):
             return
@@ -579,20 +617,15 @@ class MemoryHierarchy:
             # Pollution-free placement: the line waits beside the cache.
             bank_delay = self._bank_delay(addr, now)
             data_done, segments = self._fetch_line(
-                core, addr, now + bank_delay + self.config.l2.hit_latency, demand=False
+                core, addr, now + bank_delay + self.config.l2.hit_latency, False
             )
             self.stream_buffers[core].insert(addr, data_done, segments)
             return
-        self._l2_access(core, addr, now, store=False, demand=False, prefetch=True)
+        self._l2_access(core, addr, now, False, False, True)
 
     # ------------------------------------------------------------------
     # compression accounting
     # ------------------------------------------------------------------
-
-    def _sample_effective_size(self) -> None:
-        self._l2_access_count += 1
-        if self._l2_access_count % _SAMPLE_EVERY == 0:
-            self.compression_stats.record_sample(self.l2.resident_lines())
 
     def note_line_compression(self, segments: int) -> None:
         if segments < SEGMENTS_PER_LINE:

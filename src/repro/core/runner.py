@@ -1,0 +1,125 @@
+"""Parallel execution of independent simulation points.
+
+Every grid point in a sweep is an independent simulation, so sweeps
+parallelise trivially across processes.  :class:`ParallelRunner` fans a
+list of :func:`repro.core.experiment.run_point` argument sets out to a
+``ProcessPoolExecutor`` and merges the results *by input position*, so
+the output order is deterministic regardless of which worker finishes
+first.  A point that raises is captured as a :class:`PointError` (with
+its coordinates and traceback) instead of killing the whole sweep.
+
+Workers inherit the disk cache (:mod:`repro.core.diskcache`): each
+worker process consults and populates it through ``run_point``, so a
+parallel sweep warms the same persistent cache a serial one would.
+
+Environment knob: ``REPRO_JOBS`` — default worker count when none is
+given (falls back to ``os.cpu_count()``).
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.results import SimulationResult
+
+#: One work item: ((workload, key), run_point keyword arguments).
+PointSpec = Tuple[Tuple[str, str], Dict[str, Any]]
+
+
+@dataclass
+class PointError:
+    """A grid point that failed; the sweep carries on without it."""
+
+    workload: str
+    key: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+    traceback: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PointError({self.workload}/{self.key}: {self.error})"
+
+
+PointOutcome = Union[SimulationResult, PointError]
+
+
+def default_jobs() -> int:
+    """``REPRO_JOBS`` if set, else the machine's CPU count."""
+    value = os.environ.get("REPRO_JOBS")
+    if value:
+        return max(int(value), 1)
+    return os.cpu_count() or 1
+
+
+def _run_one(item: Tuple[int, PointSpec]) -> Tuple[int, Any, Optional[Tuple[str, str]]]:
+    """Worker body: run one point, never raise."""
+    index, ((workload, key), kwargs) = item
+    try:
+        from repro.core.experiment import run_point
+
+        return index, run_point(workload, key, **kwargs), None
+    except Exception as exc:  # noqa: BLE001 - captured per point by design
+        return index, None, (repr(exc), traceback.format_exc())
+
+
+class ParallelRunner:
+    """Run independent simulation points across worker processes."""
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = max(int(jobs) if jobs is not None else default_jobs(), 1)
+
+    def run_points(
+        self,
+        points: Sequence[PointSpec],
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> List[PointOutcome]:
+        """Execute every point; result ``i`` corresponds to ``points[i]``.
+
+        ``progress(done, total)`` fires as each point completes (in
+        completion order; the returned list is in input order).
+        """
+        total = len(points)
+        results: List[Optional[PointOutcome]] = [None] * total
+        items = list(enumerate(points))
+        if self.jobs == 1 or total <= 1:
+            for done, item in enumerate(items):
+                self._store(results, points, _run_one(item))
+                if progress is not None:
+                    progress(done + 1, total)
+            return results  # type: ignore[return-value]
+
+        workers = min(self.jobs, total)
+        done = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(_run_one, item) for item in items}
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    self._store(results, points, future.result())
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _store(
+        results: List[Optional[PointOutcome]],
+        points: Sequence[PointSpec],
+        outcome: Tuple[int, Any, Optional[Tuple[str, str]]],
+    ) -> None:
+        index, result, error = outcome
+        if error is None:
+            results[index] = result
+        else:
+            (workload, key), kwargs = points[index]
+            results[index] = PointError(
+                workload=workload,
+                key=key,
+                kwargs=dict(kwargs),
+                error=error[0],
+                traceback=error[1],
+            )

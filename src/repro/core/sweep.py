@@ -41,10 +41,16 @@ METRICS: Dict[str, Callable[[SimulationResult], float]] = {
 
 @dataclass
 class SweepResults:
-    """The full grid of results plus slicing helpers."""
+    """The full grid of results plus slicing helpers.
+
+    ``errors`` holds the grid points that raised during a parallel run
+    (coordinates -> :class:`repro.core.runner.PointError`); those keys
+    are absent from ``points``.
+    """
 
     dimensions: List[str]
     points: Dict[Tuple, SimulationResult] = field(default_factory=dict)
+    errors: Dict[Tuple, Any] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.points)
@@ -122,10 +128,19 @@ class Sweep:
         *,
         events: Optional[int] = None,
         warmup: Optional[int] = None,
+        jobs: Optional[int] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         **fixed_kwargs,
     ) -> SweepResults:
-        """Simulate every grid point (memoised via run_point's cache)."""
+        """Simulate every grid point (cached via run_point's memo and the
+        disk cache).
+
+        ``jobs`` > 1 fans the grid out across worker processes (see
+        :class:`repro.core.runner.ParallelRunner`); the merged results
+        are identical to a serial run, and a grid point that raises is
+        recorded in :attr:`SweepResults.errors` instead of aborting the
+        sweep.
+        """
         if "workload" not in self._dims:
             raise ValueError("a sweep needs a 'workload' dimension")
         if "key" not in self._dims:
@@ -133,14 +148,39 @@ class Sweep:
         names = list(self._dims)
         results = SweepResults(dimensions=names)
         total = self.size
-        for i, combo in enumerate(itertools.product(*self._dims.values())):
+        combos = list(itertools.product(*self._dims.values()))
+        run_kwargs = []
+        for combo in combos:
             coords = dict(zip(names, combo))
             kwargs = {k: v for k, v in coords.items() if k not in self.SPECIAL}
             kwargs.update(fixed_kwargs)
-            result = run_point(
-                coords["workload"], coords["key"], events=events, warmup=warmup, **kwargs
+            # A dimension may itself be named "events"/"warmup"; the
+            # call-level arguments only fill the gaps.
+            kwargs.setdefault("events", events)
+            kwargs.setdefault("warmup", warmup)
+            run_kwargs.append((coords, kwargs))
+
+        if jobs is not None and jobs > 1 and total > 1:
+            from repro.core.experiment import remember_point
+            from repro.core.runner import ParallelRunner, PointError
+
+            points = [
+                ((coords["workload"], coords["key"]), kwargs)
+                for coords, kwargs in run_kwargs
+            ]
+            outcomes = ParallelRunner(jobs).run_points(points, progress=progress)
+            for combo, ((workload, key), kwargs), outcome in zip(combos, points, outcomes):
+                if isinstance(outcome, PointError):
+                    results.errors[tuple(combo)] = outcome
+                else:
+                    results.points[tuple(combo)] = outcome
+                    remember_point(outcome, workload=workload, key=key, **kwargs)
+            return results
+
+        for i, (combo, (coords, kwargs)) in enumerate(zip(combos, run_kwargs)):
+            results.points[tuple(combo)] = run_point(
+                coords["workload"], coords["key"], **kwargs
             )
-            results.points[tuple(combo)] = result
             if progress is not None:
                 progress(i + 1, total)
         return results

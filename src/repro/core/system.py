@@ -92,29 +92,63 @@ class CMPSystem:
         return self.collect(config_name or self.config.describe(), events_per_core)
 
     def _run_events(self, events_per_core: int) -> None:
-        heap = [(core.time, i) for i, core in enumerate(self.cores)]
-        heapq.heapify(heap)
-        remaining = [events_per_core] * len(self.cores)
-        gens = self._generators
+        # Hot loop: the core timing model (advance_compute /
+        # apply_memory_latency) is inlined here with per-core state held
+        # in locals, and written back once at the end.  The arithmetic is
+        # kept bit-identical to CoreTimingModel's methods.
         cores = self.cores
+        n = len(cores)
+        heap = [(core.time, i) for i, core in enumerate(cores)]
+        heapq.heapify(heap)
+        remaining = [events_per_core] * n
+        next_event = [g.__next__ for g in self._generators]
         access = self.hierarchy.access
-        push, pop = heapq.heappush, heapq.heappop
+        pop, replace = heapq.heappop, heapq.heapreplace
+        times = [core.time for core in cores]
+        cpi = [core.cpi_base for core in cores]
+        keep = [1.0 - core.tolerance for core in cores]
+        hide = [core.hide_cycles for core in cores]
+        instr = [0] * n
+        stall = [0.0] * n
+        ifetch = [0] * n
+        data = [0] * n
+        processed = 0
         while heap:
-            _, idx = pop(heap)
-            core = cores[idx]
-            gap, kind, addr = next(gens[idx])
+            # Peek the earliest core; re-seat it with heapreplace (one
+            # sift) instead of a pop + push pair when it continues.
+            idx = heap[0][1]
+            gap, kind, addr = next_event[idx]()
+            t = times[idx]
             if gap:
-                core.advance_compute(gap)
-            latency, l1_hit = access(idx, kind, addr, core.time)
-            core.apply_memory_latency(latency, l1_hit=l1_hit)
+                t += gap * cpi[idx]
+                instr[idx] += gap
+            latency, l1_hit = access(idx, kind, addr, t)
+            if not l1_hit and latency > 0.0:
+                over = latency - hide[idx]
+                if over > 0.0:
+                    s = over * keep[idx]
+                    t += s
+                    stall[idx] += s
+            times[idx] = t
             if kind == 0:
-                core.stats.ifetch_accesses += 1
+                ifetch[idx] += 1
             else:
-                core.stats.data_accesses += 1
-            self._events_processed += 1
+                data[idx] += 1
+            processed += 1
             remaining[idx] -= 1
             if remaining[idx] > 0:
-                push(heap, (core.time, idx))
+                replace(heap, (t, idx))
+            else:
+                pop(heap)
+        self._events_processed += processed
+        for i, core in enumerate(cores):
+            core.time = times[i]
+            st = core.stats
+            st.instructions += instr[i]
+            st.memory_stall_cycles += stall[i]
+            st.ifetch_accesses += ifetch[i]
+            st.data_accesses += data[i]
+            st.cycles = times[i] - core.start_time
 
     def reset_stats(self) -> None:
         self.hierarchy.reset_stats()

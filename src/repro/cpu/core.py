@@ -17,6 +17,16 @@ from repro.stats.counters import CoreStats
 
 
 class CoreTimingModel:
+    __slots__ = (
+        "core_id",
+        "cpi_base",
+        "tolerance",
+        "hide_cycles",
+        "time",
+        "start_time",
+        "stats",
+    )
+
     def __init__(
         self,
         core_id: int,

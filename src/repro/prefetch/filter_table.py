@@ -17,9 +17,8 @@ the seed scan is bounded by the seed capacity (32).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 POSITIVE_UNIT = "positive_unit"
 NEGATIVE_UNIT = "negative_unit"
@@ -37,7 +36,7 @@ def classify_stride(stride: int, max_nonunit: int) -> Optional[str]:
     return None
 
 
-@dataclass
+@dataclass(slots=True)
 class _FilterEntry:
     stride: int
     count: int
@@ -46,10 +45,14 @@ class _FilterEntry:
 class FilterTable:
     """One stride class: LRU dict keyed by the next expected miss address."""
 
+    __slots__ = ("kind", "capacity", "_entries")
+
     def __init__(self, kind: str, capacity: int) -> None:
         self.kind = kind
         self.capacity = capacity
-        self._entries: "OrderedDict[int, _FilterEntry]" = OrderedDict()
+        # Plain dict: insertion order provides the LRU behaviour (entries
+        # are always removed and re-added on use), with faster pops.
+        self._entries: Dict[int, _FilterEntry] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,12 +65,21 @@ class FilterTable:
         if expected_addr in self._entries:
             del self._entries[expected_addr]
         elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)  # evict LRU
-        self._entries[expected_addr] = _FilterEntry(stride=stride, count=count)
+            del self._entries[next(iter(self._entries))]  # evict LRU
+        self._entries[expected_addr] = _FilterEntry(stride, count)
 
 
 class StrideDetector:
     """Seeds + the three filter tables; reports streams ready to allocate."""
+
+    __slots__ = (
+        "confirm_misses",
+        "max_nonunit_stride",
+        "seed_entries",
+        "tables",
+        "_table_seq",
+        "_seeds",
+    )
 
     def __init__(
         self,
@@ -85,7 +97,8 @@ class StrideDetector:
             kind: FilterTable(kind, filter_entries)
             for kind in (POSITIVE_UNIT, NEGATIVE_UNIT, NON_UNIT)
         }
-        self._seeds: "OrderedDict[int, None]" = OrderedDict()
+        self._table_seq = tuple(self.tables.values())
+        self._seeds: Dict[int, None] = {}
 
     def observe_miss(self, addr: int) -> Optional[Tuple[int, int]]:
         """Feed one miss (line address).
@@ -93,14 +106,22 @@ class StrideDetector:
         Returns ``(addr, stride)`` when a stream has just been confirmed,
         else None.
         """
-        for table in self.tables.values():
-            entry = table.match(addr)
+        for table in self._table_seq:
+            entry = table._entries.pop(addr, None)  # FilterTable.match, inlined
             if entry is None:
                 continue
             entry.count += 1
             if entry.count >= self.confirm_misses:
                 return addr, entry.stride
-            table.allocate(addr + entry.stride, entry.stride, entry.count)
+            # FilterTable.allocate, inlined — and the popped entry object is
+            # re-keyed at the next expected address instead of reallocated.
+            entries = table._entries
+            nxt = addr + entry.stride
+            if nxt in entries:
+                del entries[nxt]
+            elif len(entries) >= table.capacity:
+                del entries[next(iter(entries))]  # evict LRU
+            entries[nxt] = entry
             return None
 
         seed = self._find_seed(addr)
@@ -117,17 +138,18 @@ class StrideDetector:
 
     def _find_seed(self, addr: int) -> Optional[int]:
         """Most recent seed within stride range of ``addr``."""
-        max_stride = self.max_nonunit_stride
+        lo = addr - self.max_nonunit_stride
+        hi = addr + self.max_nonunit_stride
         for seed in reversed(self._seeds):
-            stride = addr - seed
-            if stride != 0 and -max_stride <= stride <= max_stride:
+            if lo <= seed <= hi and seed != addr:
                 return seed
         return None
 
     def _add_seed(self, addr: int) -> None:
         if addr in self._seeds:
-            self._seeds.move_to_end(addr)
+            del self._seeds[addr]  # re-insert below to refresh recency
+            self._seeds[addr] = None
             return
         if len(self._seeds) >= self.seed_entries:
-            self._seeds.popitem(last=False)
+            del self._seeds[next(iter(self._seeds))]  # oldest seed
         self._seeds[addr] = None

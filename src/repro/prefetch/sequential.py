@@ -39,6 +39,7 @@ class SequentialPrefetcher:
             raise ValueError(f"unknown prefetcher level: {level!r}")
         self.level = level
         self.config = config
+        self.enabled = config.enabled
         self.max_degree = 2 if level == "l1" else 4
         self.degree = self.max_degree if not config.adaptive else 1
         # Reuse the AdaptiveController purely as the useful/useless event
@@ -49,7 +50,7 @@ class SequentialPrefetcher:
         self._last_useless = 0
 
     def observe_miss(self, line_addr: int) -> List[int]:
-        if not self.config.enabled:
+        if not self.enabled:
             return []
         self._maybe_adjust()
         if self.degree == 0:
@@ -58,7 +59,7 @@ class SequentialPrefetcher:
         return [line_addr + i for i in range(1, self.degree + 1)]
 
     def observe_hit(self, line_addr: int) -> List[int]:
-        if not self.config.enabled:
+        if not self.enabled:
             return []
         self._maybe_adjust()
         return []

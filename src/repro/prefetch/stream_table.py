@@ -9,8 +9,7 @@ at the frontier, maintaining the run-ahead distance.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 class Stream:
@@ -28,9 +27,13 @@ class Stream:
 class StreamTable:
     """LRU table of active streams, keyed by expected next demand address."""
 
+    __slots__ = ("capacity", "_streams")
+
     def __init__(self, capacity: int = 8) -> None:
         self.capacity = capacity
-        self._streams: "OrderedDict[int, Stream]" = OrderedDict()
+        # Plain dict: insertion order gives FIFO eviction for free, and
+        # pop/lookup are faster than OrderedDict on the hot path.
+        self._streams: Dict[int, Stream] = {}
 
     def __len__(self) -> int:
         return len(self._streams)
@@ -70,4 +73,4 @@ class StreamTable:
 
     def _evict_if_full(self) -> None:
         while len(self._streams) >= self.capacity:
-            self._streams.popitem(last=False)
+            del self._streams[next(iter(self._streams))]  # oldest entry

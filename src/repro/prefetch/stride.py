@@ -18,8 +18,15 @@ from repro.prefetch.filter_table import StrideDetector
 from repro.prefetch.stream_table import StreamTable
 from repro.stats.counters import PrefetchStats
 
+# Shared empty result for the (overwhelmingly common) no-prefetch case;
+# callers only iterate over it, so sharing one instance is safe and
+# avoids a list allocation per observed access.
+_EMPTY: List[int] = []
+
 
 class StridePrefetcher:
+    __slots__ = ("level", "config", "enabled", "max_startup", "detector", "streams", "adaptive", "stats")
+
     def __init__(
         self,
         level: str,
@@ -36,6 +43,7 @@ class StridePrefetcher:
             raise ValueError(f"unknown prefetcher level: {level!r}")
         self.level = level
         self.config = config
+        self.enabled = config.enabled
         self.max_startup = config.l1_startup if level == "l1" else config.l2_startup
         self.detector = StrideDetector(
             filter_entries=config.filter_entries,
@@ -48,9 +56,19 @@ class StridePrefetcher:
 
     def observe_miss(self, line_addr: int) -> List[int]:
         """Feed a demand miss; may confirm a stream and return prefetches."""
-        if not self.config.enabled:
-            return []
-        advanced = self._advance(line_addr)
+        if not self.enabled:
+            return _EMPTY
+        # Stream advances are not throttled: an allocated stream proved
+        # itself accurate enough to be confirmed, and its run-ahead is a
+        # single line.  Throttling acts on startup bursts (and, at zero,
+        # on allocation itself, save for the probe trickle).
+        # Fast-path the (overwhelmingly common) no-stream-match case with a
+        # membership test before paying for the advance call.
+        streams = self.streams
+        if line_addr in streams._streams:
+            advanced = streams.advance(line_addr) or _EMPTY
+        else:
+            advanced = _EMPTY
         confirmed = self.detector.observe_miss(line_addr)
         if confirmed is None:
             return advanced
@@ -60,18 +78,15 @@ class StridePrefetcher:
         prefetches = self.streams.allocate(addr, stride, startup)
         if prefetches:
             self.stats.streams_allocated += 1
+        if not advanced:
+            return prefetches
         return advanced + prefetches
 
     def observe_hit(self, line_addr: int) -> List[int]:
         """Feed a demand hit; a stream match keeps its run-ahead distance."""
-        if not self.config.enabled:
-            return []
-        return self._advance(line_addr)
-
-    def _advance(self, line_addr: int) -> List[int]:
-        # Stream advances are not throttled: an allocated stream proved
-        # itself accurate enough to be confirmed, and its run-ahead is a
-        # single line.  Throttling acts on startup bursts (and, at zero,
-        # on allocation itself, save for the probe trickle).
-        advanced = self.streams.advance(line_addr)
-        return advanced or []
+        if not self.enabled:
+            return _EMPTY
+        streams = self.streams
+        if line_addr not in streams._streams:
+            return _EMPTY
+        return streams.advance(line_addr) or _EMPTY

@@ -24,11 +24,11 @@ hierarchy already produces, so enabling it costs almost nothing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class TaxonomyCounts:
     useful: int = 0
     useful_polluting: int = 0
@@ -67,7 +67,12 @@ class PrefetchTaxonomy:
         self._levels: Dict[str, TaxonomyCounts] = {}
 
     def level(self, name: str) -> TaxonomyCounts:
-        return self._levels.setdefault(name, TaxonomyCounts())
+        # get-then-create rather than setdefault: the latter would build
+        # (and usually discard) a TaxonomyCounts on every event.
+        counts = self._levels.get(name)
+        if counts is None:
+            counts = self._levels[name] = TaxonomyCounts()
+        return counts
 
     # -- primitive events ----------------------------------------------------
 

@@ -1,4 +1,13 @@
-"""Export simulation results to JSON / CSV for external analysis."""
+"""Export simulation results to JSON / CSV for external analysis.
+
+Two serialisation depths live here:
+
+* the flat :data:`EXPORT_FIELDS` row (:func:`result_to_dict`) for
+  spreadsheets and plotting scripts, which drops the raw counters; and
+* the *full* round-trip form (:func:`result_to_full_dict` /
+  :func:`result_from_dict`) that preserves every counter bit-exactly —
+  the on-disk result cache (:mod:`repro.core.diskcache`) is built on it.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +17,8 @@ import json
 from typing import Dict, Iterable, List
 
 from repro.core.results import SimulationResult
+from repro.prefetch.taxonomy import TaxonomyCounts
+from repro.stats.counters import CacheStats, CompressionStats, LinkStats, PrefetchStats
 
 #: The flat metric set every exported row carries.
 EXPORT_FIELDS = (
@@ -54,6 +65,70 @@ def result_to_dict(result: SimulationResult) -> Dict[str, object]:
 
 def results_to_json(results: Iterable[SimulationResult], indent: int = 2) -> str:
     return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# full round-trip serialisation (used by the disk cache)
+# ---------------------------------------------------------------------------
+
+#: Bump when the full-dict layout changes; consumers key their storage on it.
+RESULT_SCHEMA_VERSION = 1
+
+
+def _counters_to_dict(obj) -> Dict[str, object]:
+    return {f: getattr(obj, f) for f in obj.__dataclass_fields__}
+
+
+def _counters_from_dict(cls, data: Dict[str, object]):
+    return cls(**data)
+
+
+def result_to_full_dict(result: SimulationResult) -> Dict[str, object]:
+    """Serialise a result completely (floats survive JSON bit-exactly)."""
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "workload": result.workload,
+        "config_name": result.config_name,
+        "seed": result.seed,
+        "elapsed_cycles": result.elapsed_cycles,
+        "instructions": result.instructions,
+        "clock_ghz": result.clock_ghz,
+        "events": result.events,
+        "l1i": _counters_to_dict(result.l1i),
+        "l1d": _counters_to_dict(result.l1d),
+        "l2": _counters_to_dict(result.l2),
+        "prefetch": {k: _counters_to_dict(v) for k, v in result.prefetch.items()},
+        "link": _counters_to_dict(result.link),
+        "compression": _counters_to_dict(result.compression),
+        "extra": dict(result.extra),
+        "taxonomy": {k: _counters_to_dict(v) for k, v in result.taxonomy.items()},
+        "latency": {k: dict(v) for k, v in result.latency.items()},
+    }
+
+
+def result_from_dict(data: Dict[str, object]) -> SimulationResult:
+    """Inverse of :func:`result_to_full_dict`."""
+    schema = data.get("schema")
+    if schema != RESULT_SCHEMA_VERSION:
+        raise ValueError(f"unsupported result schema {schema!r}")
+    return SimulationResult(
+        workload=data["workload"],
+        config_name=data["config_name"],
+        seed=data["seed"],
+        elapsed_cycles=data["elapsed_cycles"],
+        instructions=data["instructions"],
+        l1i=_counters_from_dict(CacheStats, data["l1i"]),
+        l1d=_counters_from_dict(CacheStats, data["l1d"]),
+        l2=_counters_from_dict(CacheStats, data["l2"]),
+        prefetch={k: _counters_from_dict(PrefetchStats, v) for k, v in data["prefetch"].items()},
+        link=_counters_from_dict(LinkStats, data["link"]),
+        compression=_counters_from_dict(CompressionStats, data["compression"]),
+        clock_ghz=data["clock_ghz"],
+        events=data["events"],
+        extra=dict(data["extra"]),
+        taxonomy={k: _counters_from_dict(TaxonomyCounts, v) for k, v in data["taxonomy"].items()},
+        latency={k: dict(v) for k, v in data["latency"].items()},
+    )
 
 
 def results_to_csv(results: Iterable[SimulationResult]) -> str:

@@ -3,15 +3,16 @@
 These are deliberately plain mutable dataclasses: the simulator's inner
 loop bumps attributes directly, and derived metrics (miss rates, the
 paper's EQ 2-4 prefetch metrics, EQ 1 bandwidth demand) are computed
-lazily as properties.
+lazily as properties.  ``slots=True`` keeps per-event attribute stores on
+the measured path out of instance ``__dict__`` lookups.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss accounting for one cache (or one level aggregated)."""
 
@@ -39,7 +40,7 @@ class CacheStats:
             setattr(self, f, getattr(self, f) + getattr(other, f))
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchStats:
     """EQ 2-4 inputs for one prefetcher."""
 
@@ -70,7 +71,7 @@ class PrefetchStats:
             setattr(self, f, getattr(self, f) + getattr(other, f))
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkStats:
     """Traffic accounting on the pin link."""
 
@@ -94,7 +95,7 @@ class LinkStats:
             setattr(self, f, getattr(self, f) + getattr(other, f))
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Per-core retirement and timing accounting."""
 
@@ -116,7 +117,7 @@ class CoreStats:
         self.ifetch_accesses += other.ifetch_accesses
 
 
-@dataclass
+@dataclass(slots=True)
 class CompressionStats:
     """Effective-capacity tracking for the compressed L2 (Table 3)."""
 

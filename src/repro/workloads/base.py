@@ -149,33 +149,69 @@ class TraceGenerator:
     # -- public -------------------------------------------------------------
 
     def events(self) -> Iterator[Tuple[int, int, int]]:
-        """Yield (instr_gap, kind, line_addr) forever."""
+        """Yield (instr_gap, kind, line_addr) forever.
+
+        The loop body runs once per trace event, so the spec scalars and
+        PC-walk state are held in locals; the RNG call sequence is
+        identical to the straightforward formulation.
+        """
         rng = self.rng
         spec = self.spec
+        random_ = rng.random
+        expovariate = rng.expovariate
+        jump_prob = spec.i_jump_prob
+        i_locality = spec.i_locality
+        store_fraction = spec.store_fraction
+        i_lines = self.i_lines
+        mean = spec.instr_per_event
+        rate = 1.0 / mean if mean > 1 else 0.0
+        # _data_address, inlined below with the same RNG call sequence.
+        stride_fraction = spec.stride_fraction
+        stride_or_hot = spec.stride_fraction + spec.hot_fraction
+        shared_fraction = spec.shared_fraction
+        locality = spec.locality
+        shared_lines = self.shared_lines
+        private_lines = self.private_lines
+        private_base = self.private_base
+        hot_lines = self.hot_lines
+        randrange = rng.randrange
+        stream_address = self._stream_address
+        pc_line = self._pc_line
+        instr_into_line = self._instr_into_line
         pending: List[Tuple[int, int, int]] = []
+        append = pending.append
+        pop = pending.pop
         while True:
             while pending:
-                yield pending.pop()
-            gap = self._draw_gap()
+                yield pop()
+            # Geometric-ish gap with the configured mean, at least 1.
+            gap = 1 + int(expovariate(rate)) if rate else 1
             # Instruction-side: advance the PC, jump occasionally, emit an
             # IFETCH for every new code line entered.
-            if rng.random() < spec.i_jump_prob:
-                u = rng.random()
-                self._pc_line = int(self.i_lines * (u ** spec.i_locality))
-                self._instr_into_line = 0
-                pending.append((0, IFETCH, _I_BASE + self._pc_line))
-            self._instr_into_line += gap
-            crossed = self._instr_into_line // _INSTR_PER_LINE
+            if random_() < jump_prob:
+                pc_line = int(i_lines * (random_() ** i_locality))
+                instr_into_line = 0
+                append((0, IFETCH, _I_BASE + pc_line))
+            instr_into_line += gap
+            crossed = instr_into_line // _INSTR_PER_LINE
             if crossed:
-                self._instr_into_line %= _INSTR_PER_LINE
+                instr_into_line %= _INSTR_PER_LINE
                 # Emit at most 2 fetch events per gap; a long sequential run
                 # touches each line once, and the gap rarely spans more.
                 for i in range(min(crossed, 2)):
-                    self._pc_line = (self._pc_line + 1) % self.i_lines
-                    pending.append((0, IFETCH, _I_BASE + self._pc_line))
-            # Data-side: one access per step.
-            addr = self._data_address()
-            kind = STORE if rng.random() < spec.store_fraction else LOAD
+                    pc_line = (pc_line + 1) % i_lines
+                    append((0, IFETCH, _I_BASE + pc_line))
+            # Data-side: one access per step (_data_address, inlined).
+            r = random_()
+            if r < stride_fraction:
+                addr = stream_address()
+            elif r < stride_or_hot:
+                addr = private_base + randrange(hot_lines)
+            elif random_() < shared_fraction:
+                addr = _SHARED_BASE + int(shared_lines * (random_() ** locality))
+            else:
+                addr = private_base + int(private_lines * (random_() ** locality))
+            kind = STORE if random_() < store_fraction else LOAD
             yield (gap, kind, addr)
 
     # -- internals ------------------------------------------------------------

@@ -7,6 +7,21 @@ import pytest
 from repro.params import CacheConfig, L2Config, LinkConfig, MemoryConfig, PrefetchConfig, SystemConfig
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the on-disk result cache at a per-session temp dir so test
+    runs neither read stale results from the working tree nor litter it."""
+    import os
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro_cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 @pytest.fixture
 def tiny_l1() -> CacheConfig:
     # 16 lines, 2-way, 8 sets
