@@ -53,6 +53,7 @@ from repro.workloads import WORKLOADS, WorkloadSpec, get_spec
 from repro.stats import ConfidenceInterval, mean_ci
 from repro.trace import TracePack, record_trace
 from repro.report import Table, bar_chart, results_to_csv, results_to_json
+from repro.obs import AuditViolation, Auditor, Violation, audit_hierarchy
 from repro.core.bottleneck import CycleBreakdown, analyze
 from repro.core.sweep import Sweep, SweepResults
 from repro.core.validate import validate_hierarchy
@@ -96,6 +97,10 @@ __all__ = [
     "bar_chart",
     "results_to_csv",
     "results_to_json",
+    "AuditViolation",
+    "Auditor",
+    "Violation",
+    "audit_hierarchy",
     "CycleBreakdown",
     "analyze",
     "Sweep",

@@ -216,6 +216,103 @@ class CompressedSetCache:
     def used_segments_total(self) -> int:
         return sum(s.used_segments for s in self._sets)
 
+    def check_invariants(self) -> List[tuple]:
+        """Verify the decoupled-cache structural invariants.
+
+        Returns ``(invariant, message, context)`` tuples (empty list =
+        healthy).  Checked: the per-set segment budget (never more than
+        ``data_segments_per_set`` segments packed), ``used_segments``
+        bookkeeping vs. the resident lines, tag conservation (valid +
+        victim tags == ``tags_per_set``), segment-count ranges (exactly 8
+        when uncompressed), set-index placement, ``_map`` and
+        ``_valid_count`` agreement, and duplicate tags.  Used by
+        :mod:`repro.obs.audit`.
+        """
+        problems: List[tuple] = []
+        total_valid = 0
+        valid_addrs = set()
+        for index, cset in enumerate(self._sets):
+            if len(cset.valid_stack) + len(cset.victim_stack) != self.tags_per_set:
+                problems.append((
+                    "l2.tag_conservation",
+                    "valid + victim tags != tags_per_set",
+                    {"set": index, "valid": len(cset.valid_stack),
+                     "victims": len(cset.victim_stack), "tags": self.tags_per_set},
+                ))
+            segments = 0
+            for entry in cset.valid_stack:
+                if not entry.valid:
+                    problems.append((
+                        "l2.invalid_in_valid_stack",
+                        "invalid tag on the valid stack",
+                        {"set": index, "addr": entry.addr},
+                    ))
+                if not 1 <= entry.segments <= SEGMENTS_PER_LINE:
+                    problems.append((
+                        "l2.segment_range",
+                        "line segment count out of [1, 8]",
+                        {"set": index, "addr": entry.addr, "segments": entry.segments},
+                    ))
+                if not self.compressed and entry.segments != SEGMENTS_PER_LINE:
+                    problems.append((
+                        "l2.uncompressed_segments",
+                        "compressed-size line stored in an uncompressed cache",
+                        {"set": index, "addr": entry.addr, "segments": entry.segments},
+                    ))
+                if entry.addr % self.n_sets != index:
+                    problems.append((
+                        "l2.set_index",
+                        "line resides in the wrong set",
+                        {"set": index, "addr": entry.addr},
+                    ))
+                if entry.addr in valid_addrs:
+                    problems.append((
+                        "l2.duplicate_tag",
+                        "address resident under two tags",
+                        {"set": index, "addr": entry.addr},
+                    ))
+                if self._map.get(entry.addr) is not entry:
+                    problems.append((
+                        "l2.map_stack_disagree",
+                        "valid tag not reachable through _map",
+                        {"set": index, "addr": entry.addr},
+                    ))
+                valid_addrs.add(entry.addr)
+                segments += entry.segments
+            if segments != cset.used_segments:
+                problems.append((
+                    "l2.used_segments",
+                    "used_segments disagrees with the resident lines",
+                    {"set": index, "recorded": cset.used_segments, "actual": segments},
+                ))
+            if cset.used_segments > self.total_segments:
+                problems.append((
+                    "l2.segment_budget",
+                    "set packs more segments than its data space holds",
+                    {"set": index, "used": cset.used_segments, "budget": self.total_segments},
+                ))
+            for entry in cset.victim_stack:
+                if entry.valid:
+                    problems.append((
+                        "l2.valid_victim_tag",
+                        "valid tag on the victim stack",
+                        {"set": index, "addr": entry.addr},
+                    ))
+            total_valid += len(cset.valid_stack)
+        if total_valid != self._valid_count:
+            problems.append((
+                "l2.valid_count",
+                "_valid_count disagrees with the stacks",
+                {"counted": total_valid, "recorded": self._valid_count},
+            ))
+        if len(self._map) != len(valid_addrs) or set(self._map) != valid_addrs:
+            problems.append((
+                "l2.map_size",
+                "_map keys disagree with the resident lines",
+                {"map": len(self._map), "resident": len(valid_addrs)},
+            ))
+        return problems
+
     # -- internals ----------------------------------------------------------
 
     def _evict_lru(self, cset: _Set) -> Eviction:

@@ -142,6 +142,78 @@ class SetAssocCache:
     def resident_lines(self) -> int:
         return sum(1 for e in self._map.values() if e.valid)
 
+    def check_invariants(self) -> List[tuple]:
+        """Verify the structural invariants the hot path relies on.
+
+        Returns ``(invariant, message, context)`` tuples, one per problem
+        found (empty list = healthy).  Checked: fixed stack geometry,
+        invalid-frames-at-tail ordering (the insert fast path depends on
+        it), set-index placement, ``_map`` <-> stack agreement, duplicate
+        tags, and the victim-tag depth bound.  Used by
+        :mod:`repro.obs.audit`; kept here so the structure and its
+        contract live side by side.
+        """
+        problems: List[tuple] = []
+        valid_addrs: Dict[int, TagEntry] = {}
+        for index, stack in enumerate(self._sets):
+            if len(stack) != self.assoc:
+                problems.append((
+                    "set_assoc.stack_size",
+                    "LRU stack does not hold exactly assoc frames",
+                    {"set": index, "frames": len(stack), "assoc": self.assoc},
+                ))
+            seen_invalid = False
+            for depth, entry in enumerate(stack):
+                if not entry.valid:
+                    seen_invalid = True
+                    continue
+                if seen_invalid:
+                    problems.append((
+                        "set_assoc.invalid_at_tail",
+                        "valid frame found below an invalid frame",
+                        {"set": index, "depth": depth, "addr": entry.addr},
+                    ))
+                if entry.addr % self.n_sets != index:
+                    problems.append((
+                        "set_assoc.set_index",
+                        "line resides in the wrong set",
+                        {"set": index, "addr": entry.addr},
+                    ))
+                if entry.addr in valid_addrs:
+                    problems.append((
+                        "set_assoc.duplicate_tag",
+                        "address resident in two frames",
+                        {"set": index, "addr": entry.addr},
+                    ))
+                if self._map.get(entry.addr) is not entry:
+                    problems.append((
+                        "set_assoc.map_stack_disagree",
+                        "stack frame not reachable through _map",
+                        {"set": index, "addr": entry.addr},
+                    ))
+                valid_addrs[entry.addr] = entry
+        for addr, entry in self._map.items():
+            if not entry.valid or entry.addr != addr:
+                problems.append((
+                    "set_assoc.map_entry",
+                    "_map references an invalid or mislabelled frame",
+                    {"addr": addr, "valid": entry.valid, "entry_addr": entry.addr},
+                ))
+            elif addr not in valid_addrs:
+                problems.append((
+                    "set_assoc.map_orphan",
+                    "_map entry not present in any LRU stack",
+                    {"addr": addr},
+                ))
+        for index, victims in enumerate(self._victims):
+            if len(victims) > self.victim_depth:
+                problems.append((
+                    "set_assoc.victim_depth",
+                    "victim list exceeds its configured depth",
+                    {"set": index, "len": len(victims), "depth": self.victim_depth},
+                ))
+        return problems
+
     def _evict(self, entry: TagEntry) -> Eviction:
         addr = entry.addr
         eviction = Eviction(addr, entry.dirty, entry.prefetch_bit, entry.state)

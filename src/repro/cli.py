@@ -10,6 +10,8 @@
     python -m repro replay trace.rpt --config compr
     python -m repro table5
     python -m repro schemes oltp
+    python -m repro audit zeus --config pref_compr --events 5000
+    python -m repro telemetry runs.jsonl
 
 Output defaults to an aligned table; ``--json`` / ``--csv`` switch the
 format for piping into other tools.
@@ -192,6 +194,75 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_audit(args) -> int:
+    """Run one point with invariant auditing forced on and report."""
+    from dataclasses import replace
+
+    from repro.obs.audit import AuditViolation
+    from repro.report.export import result_fingerprint
+
+    cfg = make_config(
+        args.config,
+        n_cores=args.cores,
+        scale=args.scale,
+        bandwidth_gbs=args.bandwidth or None,
+        infinite_bandwidth=args.bandwidth == 0,
+    )
+    cfg = replace(cfg, audit=True, audit_interval=args.interval)
+    # The command's whole point is auditing; an ambient REPRO_AUDIT=0
+    # must not silently turn it into a plain run.
+    import os
+
+    os.environ.pop("REPRO_AUDIT", None)
+    system = CMPSystem(cfg, args.workload, seed=args.seed)
+    warmup = args.warmup if args.warmup is not None else args.events
+    try:
+        result = system.run(args.events, warmup_events=warmup, config_name=args.config)
+    except AuditViolation as exc:
+        print(f"AUDIT FAILED after {system.auditor.checks_run} check(s):", file=sys.stderr)
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(
+        f"audit OK: {system.auditor.checks_run} check(s), 0 violations "
+        f"({args.workload}/{args.config}, {result.events} events)"
+    )
+    print(f"result fingerprint: {result_fingerprint(result)}")
+    return 0
+
+
+def cmd_telemetry(args) -> int:
+    """Summarise a JSONL telemetry stream (see repro.obs.telemetry)."""
+    import json as _json
+
+    from repro.obs.telemetry import read_records, summarize
+
+    try:
+        records = read_records(args.path)
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize(records)
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"records:        {summary['records']}")
+    for kind in sorted(summary["by_kind"]):
+        print(f"  {kind + ':':<14}{summary['by_kind'][kind]}")
+    print(f"workers:        {summary['workers']}")
+    if summary["simulate_wall_s"]:
+        print(f"simulate wall:  {summary['simulate_wall_s']:.3f} s")
+        print(f"events/sec:     {summary['events_per_sec']:.0f}")
+    if summary["audit_checks"]:
+        print(f"audit checks:   {summary['audit_checks']}")
+    if summary["point_sources"]:
+        sources = ", ".join(f"{k}={v}" for k, v in sorted(summary["point_sources"].items()))
+        print(f"point sources:  {sources}")
+    if summary["diskcache"]:
+        cache = ", ".join(f"{k}={v}" for k, v in sorted(summary["diskcache"].items()))
+        print(f"disk cache:     {cache}")
+    return 0
+
+
 def cmd_schemes(args) -> int:
     from repro.compression.schemes import compare_schemes
     from repro.workloads.registry import get_spec
@@ -259,6 +330,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", choices=all_names())
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_schemes)
+
+    p = sub.add_parser("audit", help="run one point with invariant auditing on")
+    p.add_argument("workload", choices=all_names())
+    p.add_argument("--config", default="base", choices=sorted(CONFIG_FEATURES))
+    p.add_argument("--interval", type=int, default=2048,
+                   help="trace events between invariant sweeps")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("telemetry", help="summarise a JSONL telemetry file")
+    p.add_argument("path")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_telemetry)
 
     return parser
 

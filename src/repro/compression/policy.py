@@ -44,6 +44,12 @@ class AdaptiveCompressionPolicy:
         self.avoided_miss_events = 0
         self.penalized_hit_events = 0
 
+    def reset_stats(self) -> None:
+        """Zero the *event* tallies; the benefit/cost ``counter`` is the
+        policy's learned state and deliberately survives a stats reset."""
+        self.avoided_miss_events = 0
+        self.penalized_hit_events = 0
+
     def should_compress(self) -> bool:
         """Store the next compressible line compressed?"""
         return not self.enabled or self.counter >= 0.0

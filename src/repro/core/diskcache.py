@@ -30,6 +30,7 @@ from dataclasses import asdict
 from typing import Dict, Optional
 
 from repro.core.results import SimulationResult
+from repro.obs import telemetry as _telemetry
 from repro.params import SystemConfig
 from repro.report.export import (
     RESULT_SCHEMA_VERSION,
@@ -88,9 +89,11 @@ class DiskCache:
         try:
             with open(self.path_for(key), "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-            return result_from_dict(data)
+            result = result_from_dict(data)
         except (OSError, ValueError, KeyError, TypeError):
-            return None
+            result = None
+        _telemetry.emit("diskcache", outcome="hit" if result is not None else "miss", key=key)
+        return result
 
     def put(self, key: str, result: SimulationResult) -> None:
         """Store a result atomically; failures are swallowed (the cache
@@ -102,6 +105,7 @@ class DiskCache:
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(result_to_full_dict(result), fh, separators=(",", ":"))
             os.replace(tmp, path)
+            _telemetry.emit("diskcache", outcome="store", key=key)
         except OSError:
             try:
                 os.unlink(tmp)

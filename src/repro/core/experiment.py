@@ -22,11 +22,13 @@ Environment knobs (all optional):
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core import diskcache
 from repro.core.results import SimulationResult
 from repro.core.system import CMPSystem
+from repro.obs import telemetry as _telemetry
 from repro.params import SystemConfig
 
 #: The paper's feature combinations, by short name.
@@ -169,6 +171,7 @@ def run_point(
     """
     events = events if events is not None else default_events()
     warmup = warmup if warmup is not None else default_warmup()
+    t0 = time.perf_counter()
     cache_key = point_cache_key(
         workload, key, seed=seed, events=events, warmup=warmup, n_cores=n_cores,
         scale=scale, bandwidth_gbs=bandwidth_gbs, infinite_bandwidth=infinite_bandwidth,
@@ -176,6 +179,7 @@ def run_point(
     if use_cache:
         result = _memo_get(cache_key)
         if result is not None:
+            _emit_point(workload, key, seed, "memo", None, t0)
             return result
     config = make_config(
         key,
@@ -185,12 +189,14 @@ def run_point(
         infinite_bandwidth=infinite_bandwidth,
     )
     disk = use_cache and diskcache.cache_enabled()
+    disk_key = None
     if disk:
         disk_key = diskcache.point_key(config, workload, seed, events, warmup)
         store = diskcache.DiskCache()
         result = store.get(disk_key)
         if result is not None:
             _memo_put(cache_key, result)
+            _emit_point(workload, key, seed, "disk", disk_key, t0)
             return result
     system = CMPSystem(config, workload, seed=seed)
     result = system.run(events, warmup_events=warmup, config_name=key)
@@ -198,7 +204,24 @@ def run_point(
         _memo_put(cache_key, result)
         if disk:
             store.put(disk_key, result)
+    _emit_point(workload, key, seed, "sim", disk_key, t0)
     return result
+
+
+def _emit_point(
+    workload: str, key: str, seed: int, source: str, disk_key: Optional[str], t0: float
+) -> None:
+    """One ``point`` telemetry record; free when telemetry is off."""
+    if _telemetry.enabled():
+        _telemetry.emit(
+            "point",
+            workload=workload,
+            config_key=key,
+            seed=seed,
+            source=source,
+            point_key=disk_key,
+            wall_s=time.perf_counter() - t0,
+        )
 
 
 def _run_parallel(

@@ -173,6 +173,7 @@ class MemoryHierarchy:
                 pure_hit = False
                 if entry.prefetch_bit:
                     stats.partial_hits += 1
+                    pf.stats.useful += 1
                     pf.adaptive.on_useful()
                     self.taxonomy.on_used(route[5])
                     entry.prefetch_bit = False
@@ -212,7 +213,26 @@ class MemoryHierarchy:
         return result
 
     def reset_stats(self) -> None:
-        """Zero all counters after warmup (cache/clock state is kept)."""
+        """Zero all counters after warmup; *clock and learned state* is kept.
+
+        Deliberately preserved across a reset (it is state of the machine,
+        not of the measurement):
+
+        * cache contents, victim tags, and LRU order;
+        * busy-until clocks: ``_bank_free``, the pin link's ``free_time``,
+          DRAM outstanding-request heaps;
+        * prefetcher training state (stream tables, filter tables) and the
+          adaptive throttle *counters* (``AdaptiveController.counter``) —
+          including their cumulative useful/useless/harmful event totals,
+          which the sequential prefetcher consumes as deltas for its
+          degree adjustment;
+        * the adaptive compression policy's benefit/cost ``counter``.
+
+        Everything that feeds a reported metric is zeroed, including the
+        L2 effective-size sampling phase (``_l2_access_count``) and the
+        compression policy's benefit/cost *event* tallies — leaking either
+        would let warmup skew the measured sampling phase.
+        """
         self.l1i_stats = CacheStats()
         self.l1d_stats = CacheStats()
         self.l2_stats = CacheStats()
@@ -237,6 +257,8 @@ class MemoryHierarchy:
         self.dram.demand_requests = 0
         self.dram.prefetch_requests = 0
         self.dram.stalled_issues = 0
+        self._l2_access_count = 0
+        self.compression_policy.reset_stats()
         self._rebuild_routes()
 
     # ------------------------------------------------------------------
@@ -265,13 +287,13 @@ class MemoryHierarchy:
             addr, MSIState.MODIFIED if store else MSIState.SHARED, store, False, now + total
         )
         if ev is not None:
-            self._handle_l1_eviction(core, ev, pf, stats, level)
+            self._handle_l1_eviction(core, ev, pf, stats, level, now)
         if self._pf_on:
             for p in pf.observe_miss(addr):
                 self._issue_l1_prefetch(core, kind, p, now)
         return total, False
 
-    def _handle_l1_eviction(self, core, ev: Eviction, pf, stats, level: str) -> None:
+    def _handle_l1_eviction(self, core, ev: Eviction, pf, stats, level: str, now: float) -> None:
         stats.evictions += 1
         if ev.prefetch_untouched:
             pf.stats.useless += 1
@@ -290,7 +312,7 @@ class MemoryHierarchy:
                 stats.writebacks += 1
         elif ev.dirty:
             # Inclusion normally prevents this; be safe and write to memory.
-            self.link.send_data(0.0, self.values.segments_for(ev.addr))
+            self.link.send_data(now, self.values.segments_for(ev.addr))
             stats.writebacks += 1
 
     def _upgrade(self, core: int, addr: int, now: float) -> float:
@@ -370,6 +392,7 @@ class MemoryHierarchy:
                 latency = max(latency, entry.fill_time - now)
                 if first_access and entry.prefetch_bit:
                     l2s.partial_hits += 1
+                    self._pf2_stats.useful += 1
                     self.l2_adaptive.on_useful()
                     self.taxonomy.on_used("l2")
                     entry.prefetch_bit = False
@@ -597,7 +620,7 @@ class MemoryHierarchy:
         # side of the directory was recorded by the _l2_access above.
         ev = l1.insert(addr, MSIState.SHARED, False, True, now + route[4] + latency)
         if ev is not None:
-            self._handle_l1_eviction(core, ev, pf, route[2], route[5])
+            self._handle_l1_eviction(core, ev, pf, route[2], route[5], now)
 
     def _issue_l2_prefetch(self, core: int, addr: int, now: float) -> None:
         if addr < 0:

@@ -19,12 +19,15 @@ given (falls back to ``os.cpu_count()``).
 from __future__ import annotations
 
 import os
+import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.results import SimulationResult
+from repro.obs import telemetry as _telemetry
 
 #: One work item: ((workload, key), run_point keyword arguments).
 PointSpec = Tuple[Tuple[str, str], Dict[str, Any]]
@@ -45,6 +48,11 @@ class PointError:
 
 
 PointOutcome = Union[SimulationResult, PointError]
+
+_LOST_WORKER_NOTE = (
+    "worker process terminated abruptly (killed by the OS, e.g. OOM or a "
+    "signal) before returning a result; the point was not simulated"
+)
 
 
 def default_jobs() -> int:
@@ -83,6 +91,7 @@ class ParallelRunner:
         completion order; the returned list is in input order).
         """
         total = len(points)
+        t0 = time.perf_counter()
         results: List[Optional[PointOutcome]] = [None] * total
         items = list(enumerate(points))
         if self.jobs == 1 or total <= 1:
@@ -90,20 +99,59 @@ class ParallelRunner:
                 self._store(results, points, _run_one(item))
                 if progress is not None:
                     progress(done + 1, total)
+            self._emit_sweep(results, workers=1, t0=t0)
             return results  # type: ignore[return-value]
 
         workers = min(self.jobs, total)
         done = 0
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(_run_one, item) for item in items}
+            future_index: Dict[Any, int] = {}
+            unsubmitted: List[int] = []
+            try:
+                for item in items:
+                    future_index[pool.submit(_run_one, item)] = item[0]
+            except BrokenProcessPool:
+                # The pool died mid-submission; whatever was not accepted
+                # becomes a lost point, and the accepted futures drain below.
+                unsubmitted = [i for i, _ in items[len(future_index):]]
+            pending = set(future_index)
             while pending:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    self._store(results, points, future.result())
+                    index = future_index[future]
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool as exc:
+                        # A worker was killed (OOM, signal) — the point is
+                        # lost, but the sweep must carry on and report it.
+                        outcome = (index, None, (repr(exc), _LOST_WORKER_NOTE))
+                    except Exception as exc:  # noqa: BLE001 - per-point capture
+                        outcome = (index, None, (repr(exc), traceback.format_exc()))
+                    self._store(results, points, outcome)
                     done += 1
                     if progress is not None:
                         progress(done, total)
+            for index in unsubmitted:
+                self._store(
+                    results, points, (index, None, (repr(BrokenProcessPool()), _LOST_WORKER_NOTE))
+                )
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+        self._emit_sweep(results, workers=workers, t0=t0)
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _emit_sweep(results: Sequence[Optional[PointOutcome]], workers: int, t0: float) -> None:
+        if _telemetry.enabled():
+            errors = sum(1 for r in results if isinstance(r, PointError))
+            _telemetry.emit(
+                "sweep",
+                points=len(results),
+                errors=errors,
+                workers=workers,
+                wall_s=time.perf_counter() - t0,
+            )
 
     @staticmethod
     def _store(

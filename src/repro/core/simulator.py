@@ -18,8 +18,20 @@ def simulate(
     warmup_events: Optional[int] = None,
     seed: int = 0,
     config_name: Optional[str] = None,
+    audit: Optional[bool] = None,
 ) -> SimulationResult:
-    """Simulate ``workload`` on ``config`` (Table 1 defaults if omitted)."""
+    """Simulate ``workload`` on ``config`` (Table 1 defaults if omitted).
+
+    ``audit=True`` turns on the invariant auditor (:mod:`repro.obs.audit`)
+    for this run without editing the config; ``None`` leaves the config's
+    ``audit`` flag (and any ``REPRO_AUDIT`` override) in charge.  Auditing
+    never changes the result — it only raises
+    :class:`~repro.obs.audit.AuditViolation` on model-state corruption.
+    """
     cfg = config if config is not None else SystemConfig()
+    if audit is not None and audit != cfg.audit:
+        from dataclasses import replace
+
+        cfg = replace(cfg, audit=audit)
     system = CMPSystem(cfg, workload, seed=seed)
     return system.run(events_per_core, warmup_events=warmup_events, config_name=config_name)

@@ -8,11 +8,14 @@ This is the library's main entry object: construct one from a
 from __future__ import annotations
 
 import heapq
+import time
 from typing import List, Optional, Union
 
 from repro.core.hierarchy import MemoryHierarchy
 from repro.core.results import SimulationResult
 from repro.cpu.core import CoreTimingModel
+from repro.obs import audit as _audit
+from repro.obs import telemetry as _telemetry
 from repro.params import SystemConfig
 from repro.workloads.base import TraceGenerator, WorkloadSpec
 from repro.workloads.registry import get_spec
@@ -66,6 +69,13 @@ class CMPSystem:
                 for i in range(config.n_cores)
             ]
         self._events_processed = 0
+        # Opt-in invariant auditing (repro.obs.audit).  When off, the hot
+        # loop's only extra cost is one falsy-int test per event.
+        self.auditor: Optional[_audit.Auditor] = (
+            _audit.Auditor(self.hierarchy, _audit.audit_interval(config))
+            if _audit.audit_enabled(config)
+            else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -85,11 +95,30 @@ class CMPSystem:
             raise ValueError("events_per_core must be positive")
         if warmup_events is None:
             warmup_events = events_per_core // 2
+        t0 = time.perf_counter()
         if warmup_events:
             self._run_events(warmup_events)
+        t1 = time.perf_counter()
         self.reset_stats()
         self._run_events(events_per_core)
-        return self.collect(config_name or self.config.describe(), events_per_core)
+        t2 = time.perf_counter()
+        result = self.collect(config_name or self.config.describe(), events_per_core)
+        measured = events_per_core * self.config.n_cores
+        measure_wall = t2 - t1
+        _telemetry.emit(
+            "simulate",
+            workload=self.spec.name,
+            config=self.config.describe(),
+            seed=self.seed,
+            events=measured,
+            warmup_events=warmup_events * self.config.n_cores,
+            warmup_wall_s=t1 - t0,
+            measure_wall_s=measure_wall,
+            wall_s=t2 - t0,
+            events_per_sec=(measured / measure_wall) if measure_wall > 0 else 0.0,
+            audit_checks=self.auditor.checks_run if self.auditor is not None else 0,
+        )
+        return result
 
     def _run_events(self, events_per_core: int) -> None:
         # Hot loop: the core timing model (advance_compute /
@@ -113,6 +142,11 @@ class CMPSystem:
         ifetch = [0] * n
         data = [0] * n
         processed = 0
+        auditor = self.auditor
+        audit_every = auditor.interval if auditor is not None else 0
+        if audit_every:
+            h = self.hierarchy
+            base_accesses = h.l1i_stats.demand_accesses + h.l1d_stats.demand_accesses
         while heap:
             # Peek the earliest core; re-seat it with heapreplace (one
             # sift) instead of a pop + push pair when it continues.
@@ -140,6 +174,10 @@ class CMPSystem:
                 replace(heap, (t, idx))
             else:
                 pop(heap)
+            if audit_every and not processed % audit_every:
+                auditor.check(expected_l1_accesses=base_accesses + processed)
+        if audit_every:
+            auditor.check(expected_l1_accesses=base_accesses + processed)
         self._events_processed += processed
         for i, core in enumerate(cores):
             core.time = times[i]

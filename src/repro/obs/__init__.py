@@ -1,0 +1,30 @@
+"""Observability for the simulator: invariant auditing and run telemetry.
+
+``repro.obs.audit`` re-derives the model's structural and accounting
+invariants (inclusion, directory consistency, segment budgets, stats
+conservation) and raises :class:`~repro.obs.audit.AuditViolation` when
+the live state disagrees; ``repro.obs.telemetry`` appends JSONL records
+describing how runs performed (phase wall-clock, events/sec, disk-cache
+traffic).  Both are opt-in and, when off, cost (nearly) nothing on the
+hot path.
+"""
+
+from repro.obs.audit import (
+    AuditViolation,
+    Auditor,
+    Violation,
+    audit_enabled,
+    audit_hierarchy,
+    audit_interval,
+)
+from repro.obs import telemetry
+
+__all__ = [
+    "AuditViolation",
+    "Auditor",
+    "Violation",
+    "audit_enabled",
+    "audit_hierarchy",
+    "audit_interval",
+    "telemetry",
+]

@@ -1,0 +1,117 @@
+"""Run telemetry: structured JSONL records of *how* simulations ran.
+
+Simulation results answer "what did the model predict"; telemetry
+answers "what did the run cost" — wall-clock per phase, events/second,
+disk-cache hits and misses, which worker produced which point.  That is
+the data needed to keep the pure-Python simulator's throughput honest
+(BENCH_throughput.json) and to debug parallel sweeps after the fact.
+
+Enable by pointing ``REPRO_TELEMETRY`` at a file path; every record is
+appended as one JSON line (``O_APPEND`` keeps concurrent workers from
+interleaving partial lines for the short records emitted here).  When
+the variable is unset, :func:`emit` is a no-op costing one dict lookup.
+I/O errors are swallowed: telemetry must never be able to fail a run.
+
+Record shape (all records)::
+
+    {"kind": "...", "ts": <unix seconds>, "pid": <os.getpid()>, ...}
+
+Kinds emitted by the simulator stack:
+
+* ``simulate`` — one per :meth:`CMPSystem.run`: workload, config
+  description, per-phase wall seconds, events/sec, audit check count;
+* ``point`` — one per :func:`repro.core.experiment.run_point`: workload,
+  config key, where the result came from (``memo`` / ``disk`` / ``sim``),
+  the point's cache key, wall seconds;
+* ``diskcache`` — one per disk-cache probe/store: hit / miss / store;
+* ``sweep`` — one per :meth:`ParallelRunner.run_points` call: point
+  count, error count, worker count, wall seconds.
+
+Read the stream back with ``repro telemetry <file>`` (see
+:mod:`repro.cli`), which aggregates per-kind counts and rates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterable, List
+
+ENV_VAR = "REPRO_TELEMETRY"
+
+
+def enabled() -> bool:
+    """Is telemetry directed anywhere?"""
+    return bool(os.environ.get(ENV_VAR))
+
+
+def emit(kind: str, **fields: Any) -> None:
+    """Append one record to the telemetry sink; silently do nothing when
+    disabled or when the sink cannot be written (telemetry must never
+    fail a run)."""
+    path = os.environ.get(ENV_VAR)
+    if not path:
+        return
+    record: Dict[str, Any] = {"kind": kind, "ts": time.time(), "pid": os.getpid()}
+    record.update(fields)
+    try:
+        with open(path, "a", encoding="utf-8") as sink:
+            sink.write(json.dumps(record, sort_keys=True) + "\n")
+    except OSError:
+        pass
+
+
+def read_records(path: str) -> List[Dict[str, Any]]:
+    """Parse a telemetry file, skipping lines that do not parse (a record
+    truncated by a killed worker must not hide the rest)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a record stream for the ``repro telemetry`` CLI."""
+    by_kind: Dict[str, int] = {}
+    sim_wall = 0.0
+    sim_events = 0
+    audit_checks = 0
+    sources: Dict[str, int] = {}
+    cache: Dict[str, int] = {}
+    workers = set()
+    for record in records:
+        kind = str(record.get("kind"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if "pid" in record:
+            workers.add(record["pid"])
+        if kind == "simulate":
+            sim_wall += float(record.get("wall_s", 0.0))
+            sim_events += int(record.get("events", 0))
+            audit_checks += int(record.get("audit_checks", 0))
+        elif kind == "point":
+            source = str(record.get("source", "?"))
+            sources[source] = sources.get(source, 0) + 1
+        elif kind == "diskcache":
+            outcome = str(record.get("outcome", "?"))
+            cache[outcome] = cache.get(outcome, 0) + 1
+    return {
+        "records": sum(by_kind.values()),
+        "by_kind": by_kind,
+        "workers": len(workers),
+        "simulate_wall_s": sim_wall,
+        "simulate_events": sim_events,
+        "events_per_sec": (sim_events / sim_wall) if sim_wall > 0 else 0.0,
+        "audit_checks": audit_checks,
+        "point_sources": sources,
+        "diskcache": cache,
+    }

@@ -173,6 +173,19 @@ class SystemConfig:
     link: LinkConfig = field(default_factory=LinkConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
+    # Opt-in invariant auditing (repro.obs.audit): periodically verify
+    # model invariants (inclusion, directory consistency, segment
+    # budgets, stats conservation) during simulation.  ``REPRO_AUDIT``
+    # overrides ``audit``; ``REPRO_AUDIT_INTERVAL`` overrides the cadence
+    # (trace events per core-interleaved step between full checks).
+    # Auditing never changes simulation results — only whether an
+    # :class:`~repro.obs.audit.AuditViolation` can interrupt a run.
+    audit: bool = False
+    audit_interval: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.audit_interval <= 0:
+            raise ValueError("audit_interval must be positive")
 
     @property
     def cache_compression(self) -> bool:

@@ -131,6 +131,21 @@ def result_from_dict(data: Dict[str, object]) -> SimulationResult:
     )
 
 
+def result_fingerprint(result: SimulationResult) -> str:
+    """SHA-256 over the canonical JSON of the full result.
+
+    Two results fingerprint identically iff every counter, float and
+    histogram bucket is bit-identical (floats round-trip exactly through
+    ``repr``).  The audit subsystem uses this to prove that enabling
+    ``REPRO_AUDIT`` does not perturb simulations, and the golden-snapshot
+    test uses it to detect behavioural drift.
+    """
+    import hashlib
+
+    blob = json.dumps(result_to_full_dict(result), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def results_to_csv(results: Iterable[SimulationResult]) -> str:
     rows: List[Dict[str, object]] = [result_to_dict(r) for r in results]
     out = io.StringIO()

@@ -1,0 +1,158 @@
+"""Regression tests for specific accounting and timing bugs.
+
+Each test here encodes a bug that once existed (and failed on the
+pre-fix code): the L1 inclusion-fallback writeback ignoring the access
+time, partial hits on in-flight prefetches not counting as useful,
+``reset_stats`` leaking warmup state, and a killed worker process taking
+the whole parallel sweep down with it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.cache.line import MSIState
+from repro.cache.set_assoc import Eviction
+from repro.core.runner import ParallelRunner, PointError
+
+from tests.test_hierarchy import make_hierarchy
+
+
+class TestInclusionFallbackWritebackTiming:
+    """The fallback writeback (dirty L1 eviction whose line is no longer
+    in the L2) must enter the pin link at the eviction's time, not at
+    cycle zero — at t=0 the link looked free, so the writeback never
+    queued and never charged its serialization at the right time."""
+
+    def test_fallback_writeback_uses_current_time(self):
+        h = make_hierarchy()
+        now = 50_000.0
+        addr = 0x9999  # never inserted into the L2
+        assert h.l2.probe(addr) is None
+        ev = Eviction(addr=addr, dirty=True, prefetch_untouched=False)
+        h._handle_l1_eviction(0, ev, h.pf_l1d[0], h.l1d_stats, "l1d", now)
+        assert h.l1d_stats.writebacks == 1
+        # The data message starts serializing at `now`, so the link is
+        # busy *after* it; with the bug it was busy in the distant past.
+        assert h.link.free_time >= now
+
+    def test_fallback_writeback_queues_behind_busy_link(self):
+        h = make_hierarchy()
+        h.link.free_time = 70_000.0
+        ev = Eviction(addr=0x9999, dirty=True, prefetch_untouched=False)
+        h._handle_l1_eviction(0, ev, h.pf_l1d[0], h.l1d_stats, "l1d", 50_000.0)
+        assert h.link.free_time > 70_000.0
+
+
+class TestPartialHitCountsUseful:
+    """A demand access hitting a prefetched line still in flight is the
+    *best* prefetch outcome (it was issued just in time); the adaptive
+    controller credited it but the reported useful counter did not."""
+
+    def test_l1_partial_hit_increments_useful(self):
+        h = make_hierarchy(prefetch=True)
+        addr = 0x140
+        l2_lat = h._l2_access(0, addr, 0.0, False, False, True, True)
+        h.l1d[0].insert(addr, MSIState.SHARED, False, True, fill_time=l2_lat + 50.0)
+        before_useful = h.pf_stats["l1d"].useful
+        latency, pure_hit = h.access(0, 1, addr, now=0.0)  # LOAD
+        # A partial hit: the line is found but the core waits out the
+        # remaining fill latency, so it does not count as a pure hit.
+        assert not pure_hit and latency > 0.0
+        assert h.l1d_stats.demand_hits == 1
+        assert h.l1d_stats.partial_hits == 1
+        assert h.pf_stats["l1d"].useful == before_useful + 1
+        # Consistent with the conservation law the auditor enforces.
+        assert h.pf_stats["l1d"].useful == (
+            h.l1d_stats.prefetch_hits + h.l1d_stats.partial_hits
+        )
+
+    def test_l2_partial_hit_increments_useful(self):
+        h = make_hierarchy(prefetch=True)
+        addr = 0x2480
+        h.l2.insert(addr, 8, prefetch=True, fill_time=10_000.0)
+        before_useful = h.pf_stats["l2"].useful
+        h.access(0, 1, addr, now=0.0)  # LOAD missing L1, partial-hitting L2
+        assert h.l2_stats.partial_hits == 1
+        assert h.pf_stats["l2"].useful == before_useful + 1
+        assert h.pf_stats["l2"].useful == (
+            h.l2_stats.prefetch_hits + h.l2_stats.partial_hits
+        )
+
+
+class TestResetStatsLeaks:
+    """reset_stats must zero everything feeding reported metrics: the L2
+    effective-size sampling phase and the compression policy's event
+    tallies both leaked across the warmup/measure boundary."""
+
+    def test_l2_access_count_reset(self):
+        h = make_hierarchy(compressed=True)
+        h._l2_access_count = 300
+        h.reset_stats()
+        assert h._l2_access_count == 0
+
+    def test_compression_policy_event_tallies_reset_counter_kept(self):
+        h = make_hierarchy(compressed=True)
+        policy = h.compression_policy
+        policy.avoided_miss_events = 7
+        policy.penalized_hit_events = 11
+        policy.counter = 123.0
+        h.reset_stats()
+        assert policy.avoided_miss_events == 0
+        assert policy.penalized_hit_events == 0
+        # The benefit/cost counter is the policy's learned state, not a
+        # measurement — it must survive (like cache contents do).
+        assert policy.counter == 123.0
+
+    def test_adaptive_event_totals_survive_reset(self):
+        """The sequential prefetcher consumes AdaptiveController event
+        totals as deltas, so they are clock-like state: resetting them
+        would produce negative deltas after warmup."""
+        h = make_hierarchy(prefetch=True, adaptive=True)
+        h.l2_adaptive.useful_events = 5
+        h.l2_adaptive.useless_events = 3
+        h.reset_stats()
+        assert h.l2_adaptive.useful_events == 5
+        assert h.l2_adaptive.useless_events == 3
+
+
+def _kill_self(*_args, **_kwargs):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="worker monkeypatch relies on fork inheritance",
+)
+class TestBrokenWorkerPool:
+    """A worker killed by the OS (OOM, signal) must surface as
+    PointErrors for the lost points, not crash the whole sweep."""
+
+    def test_killed_workers_become_point_errors(self, monkeypatch):
+        import repro.core.experiment as experiment
+
+        monkeypatch.setattr(experiment, "run_point", _kill_self)
+        points = [
+            (("zeus", "base"), dict(events=50, warmup=0, use_cache=False)),
+            (("oltp", "base"), dict(events=50, warmup=0, use_cache=False)),
+            (("jbb", "base"), dict(events=50, warmup=0, use_cache=False)),
+        ]
+        outcomes = ParallelRunner(jobs=2).run_points(points)
+        assert len(outcomes) == len(points)
+        assert all(isinstance(o, PointError) for o in outcomes)
+        # Coordinates and the lost-worker diagnosis are preserved.
+        assert [o.workload for o in outcomes] == ["zeus", "oltp", "jbb"]
+        assert all("BrokenProcessPool" in o.error for o in outcomes)
+
+    def test_progress_still_reports_every_point(self, monkeypatch):
+        import repro.core.experiment as experiment
+
+        monkeypatch.setattr(experiment, "run_point", _kill_self)
+        seen = []
+        points = [(("zeus", "base"), dict(events=50, warmup=0, use_cache=False))] * 2
+        ParallelRunner(jobs=2).run_points(points, progress=lambda d, t: seen.append((d, t)))
+        assert seen[-1] == (2, 2)
