@@ -263,6 +263,98 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Differentially verify one point against the functional oracle."""
+    from repro.verify.oracle import OracleMismatch, verify_system
+    from repro.verify.properties import ALL_PROPERTIES, PropertyViolation
+
+    cfg = make_config(
+        args.config,
+        n_cores=args.cores,
+        scale=args.scale,
+        bandwidth_gbs=args.bandwidth or None,
+        infinite_bandwidth=args.bandwidth == 0,
+    )
+    system = CMPSystem(cfg, args.workload, seed=args.seed)
+    warmup = args.warmup if args.warmup is not None else args.events
+    try:
+        verify_system(system, args.events, warmup_events=warmup, config_name=args.config)
+    except OracleMismatch as exc:
+        print("ORACLE MISMATCH:", file=sys.stderr)
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"oracle OK: {args.workload}/{args.config}, {args.events} events/core")
+    if not args.properties:
+        return 0
+    failed = 0
+    for name, check in ALL_PROPERTIES.items():
+        if name == "bandwidth_monotonicity" and cfg.link.bandwidth_gbs is None:
+            print(f"property {name}: skipped (bandwidth already infinite)")
+            continue
+        try:
+            check(cfg, args.workload, seed=args.seed, events=args.events)
+        except PropertyViolation as exc:
+            failed += 1
+            print(f"property {name}: FAILED", file=sys.stderr)
+            print(str(exc), file=sys.stderr)
+        else:
+            print(f"property {name}: OK")
+    return 1 if failed else 0
+
+
+def _parse_budget(text: Optional[str]) -> Optional[float]:
+    """Accept plain seconds or a trailing 's'/'m' unit: 120, 120s, 2m."""
+    if not text:
+        return None
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    return float(text) * scale
+
+
+def cmd_fuzz(args) -> int:
+    """Seeded trace/config fuzzing: oracle + properties + audit."""
+    from pathlib import Path
+
+    from repro.verify.fuzz import reproduce, run_fuzz
+
+    if args.repro:
+        if not Path(args.repro).is_file():
+            # Distinguish "you typed the wrong path" from "the crash is
+            # fixed" — reproduce() would otherwise surface the missing
+            # file as a still-reproducing FileNotFoundError.
+            print(f"error: no such crash file: {args.repro}", file=sys.stderr)
+            return 2
+        try:
+            reproduce(args.repro)
+        except Exception as exc:
+            print(f"still reproduces: {type(exc).__name__}:", file=sys.stderr)
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(f"{args.repro}: no longer reproduces")
+        return 0
+    report = run_fuzz(
+        args.seeds,
+        budget_s=_parse_budget(args.budget),
+        start_seed=args.seed,
+        events_per_core=args.events,
+        check_properties=not args.no_properties,
+        corpus=Path(args.corpus) if args.corpus else None,
+        log=print if args.verbose else None,
+    )
+    tail = " (budget exhausted)" if report.budget_exhausted else ""
+    print(
+        f"fuzz: {report.cases} case(s), {len(report.failures)} failure(s) "
+        f"in {report.wall_s:.1f}s{tail}"
+    )
+    for failure in report.failures:
+        print(f"  seed {failure.seed}: {failure.stage} -> {failure.path}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
 def cmd_schemes(args) -> int:
     from repro.compression.schemes import compare_schemes
     from repro.workloads.registry import get_spec
@@ -344,12 +436,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_telemetry)
 
+    p = sub.add_parser("verify", help="check one point against the functional oracle")
+    p.add_argument("workload", choices=all_names())
+    p.add_argument("--config", default="pref_compr", choices=sorted(CONFIG_FEATURES))
+    p.add_argument("--properties", action="store_true",
+                   help="also run the metamorphic property suite")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("fuzz", help="fuzz random traces/configs through the verifiers")
+    p.add_argument("--seeds", type=int, default=50, help="number of fuzz cases")
+    p.add_argument("--budget", default=None,
+                   help="wall-clock budget, e.g. 120s or 5m (default: none)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="first case seed (default: REPRO_FUZZ_SEED)")
+    p.add_argument("--events", type=int, default=600, help="trace events per core")
+    p.add_argument("--corpus", default="",
+                   help="crash-corpus directory (default: REPRO_FUZZ_DIR or .repro_fuzz/)")
+    p.add_argument("--no-properties", action="store_true",
+                   help="skip the per-case metamorphic property check")
+    p.add_argument("--repro", default="",
+                   help="replay a saved crash file instead of fuzzing")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_fuzz)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        return 130
+    except (ValueError, KeyError, OSError) as exc:
+        # Predictable operator errors (bad names, malformed overrides,
+        # unreadable/unwritable paths) get one readable line, not a
+        # traceback; genuine bugs still surface loudly.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

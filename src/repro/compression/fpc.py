@@ -168,6 +168,109 @@ def _pattern_rebuilds(prefix: int, word: int) -> bool:
     return True  # uncompressed always rebuilds
 
 
+# ----------------------------------------------------------------------
+# bit-level codec
+#
+# The simulator itself only consumes sizes, but the verification
+# subsystem (repro.verify.fpc_ref) compares this encoder bit-for-bit
+# against an independently written reference codec, so the payload
+# construction is public API rather than an implementation detail.
+# ----------------------------------------------------------------------
+
+
+def payload_for(prefix: int, word: int) -> int:
+    """The payload bits stored for ``word`` under pattern ``prefix``.
+
+    Not defined for prefix 0 (zero runs store the run length instead);
+    callers handle runs at the line level.
+    """
+    if prefix == 1:
+        return word & 0xF
+    if prefix == 2:
+        return word & 0xFF
+    if prefix == 3:
+        return word & 0xFFFF
+    if prefix == 4:
+        return word >> 16
+    if prefix == 5:
+        return ((word >> 16) & 0xFF) << 8 | (word & 0xFF)
+    if prefix == 6:
+        return word & 0xFF
+    if prefix == 7:
+        return word
+    raise ValueError(f"no per-word payload for prefix {prefix}")
+
+
+def word_from_payload(prefix: int, payload: int) -> int:
+    """Rebuild a 32-bit word from its pattern prefix and payload."""
+    if prefix == 1:
+        return _extend(payload, 4, 32)
+    if prefix == 2:
+        return _extend(payload, 8, 32)
+    if prefix == 3:
+        return _extend(payload, 16, 32)
+    if prefix == 4:
+        return (payload & 0xFFFF) << 16
+    if prefix == 5:
+        return (_extend(payload >> 8 & 0xFF, 8, 16) << 16) | _extend(payload & 0xFF, 8, 16)
+    if prefix == 6:
+        return (payload & 0xFF) * 0x01010101
+    if prefix == 7:
+        return payload & _MASK32
+    raise ValueError(f"no per-word payload for prefix {prefix}")
+
+
+def _extend(value: int, bits: int, width: int) -> int:
+    """Sign-extend the low ``bits`` of ``value`` to ``width`` bits."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value |= ((1 << width) - 1) & ~((1 << bits) - 1)
+    return value
+
+
+def encode_line(words: Sequence[int]) -> Tuple[int, int]:
+    """Encode a 16-word line into an FPC bitstream.
+
+    Returns ``(bits, nbits)``: the stream as an integer with the first
+    emitted bit most significant.  ``nbits`` always equals
+    :func:`compressed_size_bits`.
+    """
+    bits = 0
+    nbits = 0
+    i = 0
+    for prefix, payload_bits, run in compress_line(words):
+        payload = run if prefix == 0 else payload_for(prefix, words[i])
+        bits = (bits << PREFIX_BITS) | prefix
+        bits = (bits << payload_bits) | payload
+        nbits += PREFIX_BITS + payload_bits
+        i += run
+    return bits, nbits
+
+
+def decode_line(bits: int, nbits: int) -> List[int]:
+    """Decode an FPC bitstream back into 16 words (inverse of
+    :func:`encode_line`)."""
+    words: List[int] = []
+    pos = nbits
+    while pos > 0:
+        pos -= PREFIX_BITS
+        prefix = bits >> pos & (1 << PREFIX_BITS) - 1
+        payload_bits = FPC_PATTERNS[prefix][1]
+        pos -= payload_bits
+        if pos < 0:
+            raise ValueError("truncated FPC stream")
+        payload = bits >> pos & (1 << payload_bits) - 1
+        if prefix == 0:
+            if not 1 <= payload <= 7:
+                raise ValueError(f"bad zero-run length {payload}")
+            words.extend([0] * payload)
+        else:
+            words.append(word_from_payload(prefix, payload))
+    if len(words) != WORDS_PER_LINE:
+        raise ValueError(f"stream decoded to {len(words)} words, expected {WORDS_PER_LINE}")
+    return words
+
+
 def line_from_bytes(data: bytes) -> List[int]:
     """Split a 64-byte line into 16 big-endian 32-bit words."""
     if len(data) != WORDS_PER_LINE * 4:

@@ -192,7 +192,12 @@ class MemoryHierarchy:
             if self._pf_on:
                 for p in pf.observe_hit(addr):
                     self._issue_l1_prefetch(core, kind, p, now)
-            if kind == STORE:
+            if kind == STORE and entry.valid and entry.addr == addr:
+                # The addr/valid re-check guards a rare aliasing corner:
+                # a prefetch issued by the observe_hit loop above can
+                # evict this line from the L2, back-invalidating the L1
+                # copy and possibly reusing its tag frame for another
+                # line; writing through the stale frame would corrupt it.
                 if entry.state == MSIState.SHARED:
                     latency += self._upgrade(core, addr, now)
                     entry.state = MSIState.MODIFIED
@@ -281,13 +286,18 @@ class MemoryHierarchy:
         if self._noc_on:
             # The fill crosses the on-chip network from the L2 bank.
             total = self.noc.transfer_line(core, now + total) - now
-        # Fill the L1 (no L2 probe needed: the _l2_access above — hit path
-        # or miss fill — already recorded this core in the directory).
-        ev = l1.insert(
-            addr, MSIState.MODIFIED if store else MSIState.SHARED, store, False, now + total
-        )
-        if ev is not None:
-            self._handle_l1_eviction(core, ev, pf, stats, level, now)
+        # Fill the L1 — unless an L2 prefetch triggered inside the
+        # _l2_access above already pushed this very line back out of the
+        # L2 (possible in small caches when the prefetcher bursts into
+        # the same set); inserting it then would break inclusion, since
+        # the eviction's back-invalidate ran before the L1 had the line.
+        l2e = self.l2._map.get(addr)  # CompressedSetCache.probe, inlined
+        if l2e is not None and l2e.valid:
+            ev = l1.insert(
+                addr, MSIState.MODIFIED if store else MSIState.SHARED, store, False, now + total
+            )
+            if ev is not None:
+                self._handle_l1_eviction(core, ev, pf, stats, level, now)
         if self._pf_on:
             for p in pf.observe_miss(addr):
                 self._issue_l1_prefetch(core, kind, p, now)
@@ -616,11 +626,14 @@ class MemoryHierarchy:
         self.taxonomy.on_issued(route[5])
         latency = self._l2_access(core, addr, now, False, False, True, True)
         # The prefetched fill pays its own L1's fill latency (L1I for
-        # instruction-side prefetches, L1D for data-side ones).  The L2
-        # side of the directory was recorded by the _l2_access above.
-        ev = l1.insert(addr, MSIState.SHARED, False, True, now + route[4] + latency)
-        if ev is not None:
-            self._handle_l1_eviction(core, ev, pf, route[2], route[5], now)
+        # instruction-side prefetches, L1D for data-side ones).  Skip the
+        # fill if a nested L2 prefetch evicted this line from the L2
+        # again before the L1 could take it (see _l1_miss).
+        l2e = self.l2._map.get(addr)  # CompressedSetCache.probe, inlined
+        if l2e is not None and l2e.valid:
+            ev = l1.insert(addr, MSIState.SHARED, False, True, now + route[4] + latency)
+            if ev is not None:
+                self._handle_l1_eviction(core, ev, pf, route[2], route[5], now)
 
     def _issue_l2_prefetch(self, core: int, addr: int, now: float) -> None:
         if addr < 0:

@@ -258,3 +258,25 @@ def bytes_per_cycle(bandwidth_gbs: float, clock_ghz: float) -> float:
 def asdict(cfg: SystemConfig) -> dict:
     """Plain-dict view of a config (for logging / result records)."""
     return dataclasses.asdict(cfg)
+
+
+def config_from_dict(data: dict) -> SystemConfig:
+    """Inverse of :func:`asdict` — rebuild a :class:`SystemConfig`.
+
+    The fuzzing harness persists failing configurations as JSON
+    (:mod:`repro.verify.fuzz`); this reconstructs them bit-exactly,
+    re-running the dataclass validators in the process.
+    """
+    return SystemConfig(
+        n_cores=data["n_cores"],
+        clock_ghz=data["clock_ghz"],
+        onchip_bandwidth_gbs=data["onchip_bandwidth_gbs"],
+        l1i=CacheConfig(**data["l1i"]),
+        l1d=CacheConfig(**data["l1d"]),
+        l2=L2Config(**data["l2"]),
+        link=LinkConfig(**data["link"]),
+        memory=MemoryConfig(**data["memory"]),
+        prefetch=PrefetchConfig(**data["prefetch"]),
+        audit=data.get("audit", False),
+        audit_interval=data.get("audit_interval", 4096),
+    )

@@ -50,7 +50,11 @@ class AdaptiveController:
         count scales linearly with the counter (Table 1's "at most for
         the adaptive scheme") and reaches zero when disabled.
         """
-        if not self.enabled:
+        if not self.enabled or max_startup <= 0:
+            # A configured degree of zero is an upper bound like any
+            # other: the trickle/probe bumps below must not raise it,
+            # or ``throttled = max_startup - startup`` goes negative
+            # and the "off" configuration issues prefetches.
             return max_startup
         startup = max_startup * self.counter // self.counter_max
         if startup == 0 and self.counter > 0:

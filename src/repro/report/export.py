@@ -14,7 +14,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 from repro.core.results import SimulationResult
 from repro.prefetch.taxonomy import TaxonomyCounts
@@ -129,6 +129,35 @@ def result_from_dict(data: Dict[str, object]) -> SimulationResult:
         taxonomy={k: _counters_from_dict(TaxonomyCounts, v) for k, v in data["taxonomy"].items()},
         latency={k: dict(v) for k, v in data["latency"].items()},
     )
+
+
+def diff_full_dicts(
+    a: Dict[str, object],
+    b: Dict[str, object],
+    ignore: Iterable[str] = (),
+) -> List[Tuple[str, object, object]]:
+    """Recursively diff two :func:`result_to_full_dict` trees.
+
+    Returns ``(dotted.path, a_value, b_value)`` triples for every leaf
+    that differs, skipping paths listed in ``ignore`` (exact dotted
+    paths).  The verification subsystem uses this to state metamorphic
+    properties as "these two runs differ in exactly this set of
+    counters" rather than as opaque fingerprint comparisons.
+    """
+    skip = frozenset(ignore)
+    out: List[Tuple[str, object, object]] = []
+
+    def walk(x: object, y: object, path: str) -> None:
+        if path in skip:
+            return
+        if isinstance(x, dict) and isinstance(y, dict):
+            for key in sorted(set(x) | set(y)):
+                walk(x.get(key), y.get(key), f"{path}.{key}" if path else str(key))
+        elif x != y:
+            out.append((path, x, y))
+
+    walk(a, b, "")
+    return out
 
 
 def result_fingerprint(result: SimulationResult) -> str:

@@ -1,0 +1,111 @@
+"""Structural invariant checking for the memory hierarchy.
+
+These checks formalise the structural invariants the design relies on;
+the integration tests call them after stress runs, and they can be run
+against any live :class:`CMPSystem` while debugging a model change.
+They are the lightweight single-shot face of the verification subsystem:
+the periodic :mod:`repro.obs.audit` sweeps, the differential
+:mod:`repro.verify.oracle`, and the :mod:`repro.verify.fuzz` harness all
+build on (or subsume) them.
+
+Checked invariants:
+
+* **Inclusion** — every valid L1 line is resident in the L2.
+* **Directory soundness** — every L2 sharer bit corresponds to an actual
+  L1 copy, and every L1 copy is covered by a sharer bit; an L1 line in
+  Modified state is the L2 entry's registered owner.
+* **Segment accounting** — per-set used segments equal the sum over live
+  lines and never exceed the data-space budget; tag counts add up.
+* **Single-writer** — no two L1s hold the same line Modified.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.line import MSIState
+from repro.core.hierarchy import MemoryHierarchy
+
+
+class InvariantViolation(AssertionError):
+    """Raised when a structural invariant fails; message lists all
+    violations found so a single run surfaces every problem."""
+
+
+def check_inclusion(h: MemoryHierarchy) -> List[str]:
+    problems = []
+    for core in range(h.config.n_cores):
+        for label, cache in (("L1I", h.l1i[core]), ("L1D", h.l1d[core])):
+            for addr, entry in cache._map.items():
+                if entry.valid and h.l2.probe(addr) is None:
+                    problems.append(
+                        f"inclusion: core {core} {label} holds {addr:#x} absent from L2"
+                    )
+    return problems
+
+
+def check_directory(h: MemoryHierarchy) -> List[str]:
+    problems = []
+    n = h.config.n_cores
+    # Sharer bits must be backed by L1 copies and vice versa.
+    for addr, l2e in h.l2._map.items():
+        if not l2e.valid:
+            continue
+        for core in range(n):
+            has_copy = any(
+                (e := cache.probe(addr)) is not None for cache in (h.l1i[core], h.l1d[core])
+            )
+            has_bit = bool(l2e.sharers >> core & 1)
+            if has_copy and not has_bit:
+                problems.append(f"directory: {addr:#x} cached by core {core} without sharer bit")
+            if has_bit and not has_copy:
+                problems.append(f"directory: {addr:#x} sharer bit for core {core} without a copy")
+        if l2e.owner != -1 and not (l2e.sharers >> l2e.owner & 1):
+            problems.append(f"directory: {addr:#x} owner {l2e.owner} not a sharer")
+    return problems
+
+
+def check_single_writer(h: MemoryHierarchy) -> List[str]:
+    problems = []
+    writers = {}
+    for core in range(h.config.n_cores):
+        for cache in (h.l1i[core], h.l1d[core]):
+            for addr, entry in cache._map.items():
+                if entry.valid and entry.state == MSIState.MODIFIED:
+                    if addr in writers and writers[addr] != core:
+                        problems.append(
+                            f"single-writer: {addr:#x} Modified in cores "
+                            f"{writers[addr]} and {core}"
+                        )
+                    writers[addr] = core
+    return problems
+
+
+def check_segments(h: MemoryHierarchy) -> List[str]:
+    problems = []
+    l2 = h.l2
+    for idx, cset in enumerate(l2._sets):
+        used = sum(e.segments for e in cset.valid_stack)
+        if used != cset.used_segments:
+            problems.append(f"segments: set {idx} tracks {cset.used_segments}, actual {used}")
+        if used > l2.total_segments:
+            problems.append(f"segments: set {idx} over budget ({used}/{l2.total_segments})")
+        tags = len(cset.valid_stack) + len(cset.victim_stack)
+        if tags != l2.tags_per_set:
+            problems.append(f"segments: set {idx} has {tags} tags, expected {l2.tags_per_set}")
+        if len(cset.valid_stack) > l2.tags_per_set:
+            problems.append(f"segments: set {idx} exceeds tag count")
+    return problems
+
+
+ALL_CHECKS = (check_inclusion, check_directory, check_single_writer, check_segments)
+
+
+def validate_hierarchy(h: MemoryHierarchy, *, raise_on_failure: bool = True) -> List[str]:
+    """Run every invariant check; return (or raise with) all violations."""
+    problems: List[str] = []
+    for check in ALL_CHECKS:
+        problems.extend(check(h))
+    if problems and raise_on_failure:
+        raise InvariantViolation("\n".join(problems))
+    return problems

@@ -1,0 +1,101 @@
+"""Hypothesis property suite for FPC: the production codec against the
+independent bit-level reference (repro.verify.fpc_ref).
+
+The word strategy is deliberately biased toward the TR-1500 pattern
+classes (zeros, sign-extended small values, zero-padded halfwords,
+repeated bytes) so every encoder branch — including zero-run packing —
+is exercised often, not just the uncompressible fallback.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.fpc import (
+    WORDS_PER_LINE,
+    compressed_size_bits,
+    compressed_size_bytes,
+    decode_line,
+    decompress_check,
+    encode_line,
+)
+from repro.compression.segments import segments_for_line, segments_for_size
+from repro.verify.fpc_ref import (
+    ref_compress,
+    ref_decompress,
+    ref_size_bits,
+    ref_size_bytes,
+)
+
+_signed = lambda bits: st.integers(-(1 << (bits - 1)), (1 << (bits - 1)) - 1).map(
+    lambda v: v & 0xFFFFFFFF
+)
+
+word = st.one_of(
+    st.just(0),
+    _signed(4),
+    _signed(8),
+    _signed(16),
+    st.integers(0, 0xFFFF).map(lambda v: v << 16),  # zero-padded halfword
+    st.tuples(_signed(8), _signed(8)).map(
+        lambda p: ((p[0] & 0xFFFF) << 16) | (p[1] & 0xFFFF)
+    ),  # two sign-extended halfwords
+    st.integers(0, 0xFF).map(lambda b: b * 0x01010101),  # repeated bytes
+    st.integers(0, 0xFFFFFFFF),  # anything
+)
+
+line = st.lists(word, min_size=WORDS_PER_LINE, max_size=WORDS_PER_LINE)
+
+
+@settings(max_examples=300)
+@given(line)
+def test_production_roundtrip(words):
+    bits, nbits = encode_line(words)
+    assert decode_line(bits, nbits) == list(words)
+    assert decompress_check(words)
+
+
+@settings(max_examples=300)
+@given(line)
+def test_encode_size_matches_size_function(words):
+    _, nbits = encode_line(words)
+    assert nbits == compressed_size_bits(words)
+
+
+@settings(max_examples=300)
+@given(line)
+def test_reference_bit_identical_to_production(words):
+    # Not just same size — the same bit stream, bit for bit.
+    assert ref_compress(words) == encode_line(words)
+    assert ref_size_bits(words) == compressed_size_bits(words)
+    assert ref_size_bytes(words) == compressed_size_bytes(words)
+
+
+@settings(max_examples=300)
+@given(line)
+def test_reference_roundtrip(words):
+    bits, nbits = ref_compress(words)
+    assert ref_decompress(bits, nbits) == list(words)
+
+
+@settings(max_examples=300)
+@given(line)
+def test_segment_count_bounds(words):
+    segs = segments_for_line(words)
+    assert 1 <= segs <= 8
+    assert segs == segments_for_size(compressed_size_bytes(words))
+
+
+@settings(max_examples=200)
+@given(line)
+def test_size_never_exceeds_uncompressed_plus_prefixes(words):
+    # Worst case: 16 uncompressible words = 16 * (3 + 32) bits.
+    assert 6 <= compressed_size_bits(words) <= WORDS_PER_LINE * 35
+
+
+def test_all_zero_line_is_minimal():
+    words = [0] * WORDS_PER_LINE
+    # 16 zeros pack as runs of <=7: 7 + 7 + 2 -> three (3+3)-bit records.
+    assert compressed_size_bits(words) == 18
+    assert ref_size_bits(words) == 18
+    assert segments_for_line(words) == 1

@@ -28,24 +28,49 @@ import pytest
 
 DATA = Path(__file__).parent / "data" / "golden_snapshots.json"
 
-#: The locked points: one plain, one fully-featured, one adaptive.
+#: The locked points: one plain, one fully-featured, one adaptive, plus
+#: two variant points covering subsystems the named configs never reach
+#: (stream-buffer prefetch placement; the NoC model + open-row DRAM).
 POINTS = [
     ("zeus", "base"),
     ("oltp", "pref_compr"),
     ("jbb", "adaptive_compr"),
+    ("apache", "pref+stream_buffer"),
+    ("art", "pref_compr+noc+row_buffer"),
 ]
 
 #: Run parameters for every locked point (small enough for tier 1).
 RUN = dict(seed=0, events=1500, warmup=1500, n_cores=8, scale=4, bandwidth_gbs=20.0)
 
 
-def _simulate(workload: str, key: str):
+def _variant_config(key: str):
+    """Configs for the ``base_key+feature+...`` variant points."""
+    from dataclasses import replace
+
     from repro.core.experiment import make_config
+
+    base_key, *features = key.split("+")
+    config = make_config(
+        base_key, n_cores=RUN["n_cores"], scale=RUN["scale"], bandwidth_gbs=RUN["bandwidth_gbs"]
+    )
+    for feature in features:
+        if feature == "stream_buffer":
+            config = replace(
+                config, prefetch=replace(config.prefetch, placement="stream_buffer")
+            )
+        elif feature == "noc":
+            config = replace(config, onchip_bandwidth_gbs=320.0)
+        elif feature == "row_buffer":
+            config = replace(config, memory=replace(config.memory, row_buffer=True))
+        else:
+            raise ValueError(f"unknown golden variant feature {feature!r}")
+    return config
+
+
+def _simulate(workload: str, key: str):
     from repro.core.system import CMPSystem
 
-    config = make_config(
-        key, n_cores=RUN["n_cores"], scale=RUN["scale"], bandwidth_gbs=RUN["bandwidth_gbs"]
-    )
+    config = _variant_config(key)
     system = CMPSystem(config, workload, seed=RUN["seed"])
     return system.run(RUN["events"], warmup_events=RUN["warmup"], config_name=key)
 

@@ -1,0 +1,190 @@
+"""Hypothesis property suites for the stats layer and LRU cache model.
+
+Two families:
+
+* algebraic laws of the merge operations (histogram merge is associative
+  and commutative over integer latencies; counter merges are plain
+  componentwise sums with a zero identity), and
+* a differential check of :class:`SetAssocCache` against a brute-force
+  MRU-list model driven by the same random operation sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.line import MSIState
+from repro.cache.set_assoc import SetAssocCache
+from repro.params import CacheConfig
+from repro.stats.counters import CacheStats, LinkStats, PrefetchStats
+from repro.stats.histogram import LatencyHistogram
+
+
+# ---------------------------------------------------------------------------
+# histogram merge laws
+# ---------------------------------------------------------------------------
+
+# Integer latencies: float totals would make merge order matter (float
+# addition is not associative), which is exactly why the reset-conservation
+# property excludes float accumulators.
+latencies = st.lists(st.integers(0, 1 << 26), max_size=40)
+
+
+def _hist(values) -> LatencyHistogram:
+    h = LatencyHistogram()
+    for v in values:
+        h.record(v)
+    return h
+
+
+def _hist_state(h: LatencyHistogram):
+    return (list(h._buckets), h.count, h.total)
+
+
+@settings(max_examples=200)
+@given(latencies, latencies, latencies)
+def test_histogram_merge_associative(xs, ys, zs):
+    left = _hist(xs)
+    left.merge(_hist(ys))
+    left.merge(_hist(zs))
+    right_tail = _hist(ys)
+    right_tail.merge(_hist(zs))
+    right = _hist(xs)
+    right.merge(right_tail)
+    assert _hist_state(left) == _hist_state(right)
+
+
+@settings(max_examples=200)
+@given(latencies, latencies)
+def test_histogram_merge_commutative_and_matches_concat(xs, ys):
+    a = _hist(xs)
+    a.merge(_hist(ys))
+    b = _hist(ys)
+    b.merge(_hist(xs))
+    assert _hist_state(a) == _hist_state(b) == _hist_state(_hist(xs + ys))
+
+
+@settings(max_examples=100)
+@given(latencies)
+def test_histogram_merge_identity(xs):
+    h = _hist(xs)
+    before = _hist_state(h)
+    h.merge(LatencyHistogram())
+    assert _hist_state(h) == before
+
+
+# ---------------------------------------------------------------------------
+# counter merge laws
+# ---------------------------------------------------------------------------
+
+
+def _counter_strategy(cls):
+    ints = st.integers(0, 1 << 40)
+    kwargs = {
+        f.name: (st.floats(0, 1e9, allow_nan=False) if f.type == "float" else ints)
+        for f in dataclass_fields(cls)
+    }
+    return st.builds(cls, **kwargs)
+
+
+def _as_tuple(obj):
+    return tuple(getattr(obj, f.name) for f in dataclass_fields(obj))
+
+
+@settings(max_examples=150)
+@given(st.sampled_from([CacheStats, PrefetchStats, LinkStats]).flatmap(
+    lambda cls: st.tuples(st.just(cls), _counter_strategy(cls), _counter_strategy(cls))
+))
+def test_counter_merge_is_componentwise_sum(case):
+    cls, a, b = case
+    expected = tuple(x + y for x, y in zip(_as_tuple(a), _as_tuple(b)))
+    a.merge(b)
+    assert _as_tuple(a) == expected
+    # zero is the identity
+    b.merge(cls())
+    assert all(
+        getattr(b, f.name) == getattr(b, f.name) + 0 for f in dataclass_fields(b)
+    )
+    before = _as_tuple(b)
+    b.merge(cls())
+    assert _as_tuple(b) == before
+
+
+# ---------------------------------------------------------------------------
+# SetAssocCache vs a brute-force MRU-list model
+# ---------------------------------------------------------------------------
+
+
+class ModelCache:
+    """The obvious implementation: one MRU-ordered list per set."""
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.sets = [[] for _ in range(n_sets)]  # MRU-first line addresses
+
+    def _set(self, addr: int):
+        return self.sets[addr % self.n_sets]
+
+    def probe(self, addr: int) -> bool:
+        return addr in self._set(addr)
+
+    def touch(self, addr: int) -> None:
+        s = self._set(addr)
+        s.remove(addr)
+        s.insert(0, addr)
+
+    def insert(self, addr: int):
+        s = self._set(addr)
+        victim = s.pop() if len(s) == self.assoc else None
+        s.insert(0, addr)
+        return victim
+
+    def invalidate(self, addr: int) -> bool:
+        s = self._set(addr)
+        if addr in s:
+            s.remove(addr)
+            return True
+        return False
+
+    def residents(self):
+        return sorted(addr for s in self.sets for addr in s)
+
+
+# Operation stream: (op, addr).  Addresses drawn from a small pool so
+# sets collide and evict constantly.
+ops = st.lists(
+    st.tuples(st.sampled_from(["access", "invalidate"]), st.integers(0, 63)),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=200)
+@given(ops, st.sampled_from([(4, 1), (4, 2), (8, 4), (2, 4)]))
+def test_set_assoc_matches_bruteforce_model(operations, geometry):
+    n_sets, assoc = geometry
+    cache = SetAssocCache(CacheConfig(n_sets * assoc * 64, assoc), victim_depth=2)
+    model = ModelCache(n_sets, assoc)
+    for op, addr in operations:
+        if op == "access":
+            hit = cache.probe(addr) is not None
+            assert hit == model.probe(addr), f"probe({addr}) disagrees"
+            if hit:
+                cache.touch(addr)
+                model.touch(addr)
+            else:
+                ev = cache.insert(addr, MSIState.SHARED)
+                victim = model.insert(addr)
+                assert (ev.addr if ev is not None else None) == victim, (
+                    f"insert({addr}) evicted different victims"
+                )
+        else:
+            ev = cache.invalidate(addr)
+            was_resident = model.invalidate(addr)
+            assert (ev is not None) == was_resident, f"invalidate({addr}) disagrees"
+    assert sorted(cache._map) == model.residents()
+    assert cache.resident_lines() == len(model.residents())
+    assert cache.check_invariants() == []
