@@ -12,6 +12,9 @@
     python -m repro schemes oltp
     python -m repro audit zeus --config pref_compr --events 5000
     python -m repro telemetry runs.jsonl
+    python -m repro trace zeus pref_compr -o trace.json
+    python -m repro metrics zeus adaptive_compr --interval 2000
+    python -m repro profile zeus --engine sampler
 
 Output defaults to an aligned table; ``--json`` / ``--csv`` switch the
 format for piping into other tools.
@@ -94,6 +97,12 @@ def cmd_sweep(args) -> int:
     workloads = args.workloads.split(",") if args.workloads else all_names()
     keys = args.configs.split(",")
     coords = [(w, k) for w in workloads for k in keys]
+    # Live progress on stderr when it is a terminal; --quiet suppresses.
+    progress = None
+    if not args.quiet:
+        from repro.obs.progress import default_progress
+
+        progress = default_progress()
     if args.jobs != 1 and len(coords) > 1:
         from repro.core.runner import ParallelRunner, PointError
 
@@ -108,7 +117,7 @@ def cmd_sweep(args) -> int:
             use_cache=False,
         )
         points = [((w, k), kwargs) for w, k in coords]
-        outcomes = ParallelRunner(args.jobs or None).run_points(points)
+        outcomes = ParallelRunner(args.jobs or None).run_points(points, progress=progress)
         results = []
         failed = 0
         for outcome in outcomes:
@@ -120,7 +129,12 @@ def cmd_sweep(args) -> int:
                 results.append(outcome)
         _emit(results, args)
         return 1 if failed else 0
-    results = [_run_one(w, k, args) for w, k in coords]
+    results = []
+    for done, (w, k) in enumerate(coords):
+        results.append(_run_one(w, k, args))
+        if progress is not None:
+            # _run_one bypasses the caches, so every point is a fresh sim.
+            progress.point_done(done + 1, len(coords), source="sim")
     _emit(results, args)
     return 0
 
@@ -260,6 +274,125 @@ def cmd_telemetry(args) -> int:
     if summary["diskcache"]:
         cache = ", ".join(f"{k}={v}" for k, v in sorted(summary["diskcache"].items()))
         print(f"disk cache:     {cache}")
+    if summary["by_kind"].get("sweep"):
+        print(f"sweep points:   {summary['sweep_points']} "
+              f"({summary['sweep_errors']} error(s))")
+        print(f"sweep wall:     {summary['sweep_wall_s']:.3f} s")
+        print(f"sweep workers:  {summary['sweep_max_workers']}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one point with event tracing on; export Perfetto/Chrome JSON."""
+    import os
+    from dataclasses import replace
+
+    from repro.obs.trace import validate_trace
+
+    cfg = make_config(
+        args.config,
+        n_cores=args.cores,
+        scale=args.scale,
+        bandwidth_gbs=args.bandwidth or None,
+        infinite_bandwidth=args.bandwidth == 0,
+    )
+    cfg = replace(cfg, trace=True)
+    # The command's whole point is tracing; an ambient REPRO_TRACE=0 must
+    # not turn it off, and a path value must not double-write.
+    os.environ.pop("REPRO_TRACE", None)
+    system = CMPSystem(cfg, args.workload, seed=args.seed)
+    if args.limit is not None:
+        system.tracer.limit = max(args.limit, 1)
+    warmup = args.warmup if args.warmup is not None else args.events
+    system.run(args.events, warmup_events=warmup, config_name=args.config)
+    tracer = system.tracer
+    problems = validate_trace(tracer.to_dict())
+    tracer.write(args.output)
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"wrote {len(tracer.events)} trace event(s){dropped} to {args.output}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    if problems:
+        for problem in problems[:10]:
+            print(f"schema: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Run one point with interval metrics on; export and chart the series."""
+    import os
+    from dataclasses import replace
+
+    from repro.report.charts import timeseries_chart
+
+    cfg = make_config(
+        args.config,
+        n_cores=args.cores,
+        scale=args.scale,
+        bandwidth_gbs=args.bandwidth or None,
+        infinite_bandwidth=args.bandwidth == 0,
+    )
+    cfg = replace(cfg, metrics=True, metrics_interval=args.interval)
+    os.environ.pop("REPRO_METRICS", None)
+    os.environ.pop("REPRO_METRICS_INTERVAL", None)
+    system = CMPSystem(cfg, args.workload, seed=args.seed)
+    warmup = args.warmup if args.warmup is not None else args.events
+    system.run(args.events, warmup_events=warmup, config_name=args.config)
+    sampler = system.sampler
+    if args.output:
+        sampler.write(args.output)
+        print(f"wrote {sampler.samples} sample(s) to {args.output}")
+    if sampler.samples == 0:
+        print("no samples recorded (run shorter than one interval); "
+              "lower --interval", file=sys.stderr)
+        return 1
+    columns = (
+        args.columns.split(",") if args.columns
+        else [c for c in sampler.columns if c != "cycle"]
+    )
+    unknown = [c for c in columns if c not in sampler.series]
+    if unknown:
+        print(f"error: unknown metric column(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(sampler.columns)}", file=sys.stderr)
+        return 2
+    print(f"{args.workload}/{args.config}: {sampler.samples} sample(s) "
+          f"every {sampler.interval} simulated cycles")
+    print(timeseries_chart({c: sampler.series[c] for c in columns}))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Profile the simulator's own wall-clock on one point."""
+    import json as _json
+
+    from repro.obs.profile import profile_point
+
+    report = profile_point(
+        args.workload,
+        args.config,
+        events=args.events,
+        warmup=args.warmup,
+        n_cores=args.cores,
+        scale=args.scale,
+        seed=args.seed,
+        engine=args.engine,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as out:
+            _json.dump(report.to_dict(), out, indent=2, sort_keys=True)
+            out.write("\n")
+        print(f"wrote profile report to {args.output}")
+    unit = "calls" if args.engine == "cprofile" else "samples"
+    table = Table(["component", "self s", "%", unit], float_format="{:.3f}")
+    total = sum(c.self_time_s for c in report.components) or 1.0
+    for comp in report.components[:args.top]:
+        table.add_row(
+            [comp.name, comp.self_time_s, 100 * comp.self_time_s / total, comp.calls]
+        )
+    print(f"{args.workload}/{args.config}: {report.events} events in "
+          f"{report.warmup_wall_s + report.measure_wall_s:.3f}s wall "
+          f"({report.events_per_sec:.0f} events/s under {args.engine})")
+    print(table.render())
     return 0
 
 
@@ -386,6 +519,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--configs", default="base,pref,compr,pref_compr")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (0 = REPRO_JOBS/cpu count)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the live progress line on stderr")
     _add_run_args(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -435,6 +570,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_telemetry)
+
+    p = sub.add_parser("trace", help="run one point with event tracing; export Perfetto JSON")
+    p.add_argument("workload", choices=all_names())
+    p.add_argument("config", nargs="?", default="pref_compr", choices=sorted(CONFIG_FEATURES))
+    p.add_argument("-o", "--output", default="trace.json",
+                   help="Chrome trace-event JSON path (default trace.json)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="max in-memory trace events (default 1e6)")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("metrics", help="run one point with interval metrics; chart the series")
+    p.add_argument("workload", choices=all_names())
+    p.add_argument("config", nargs="?", default="pref_compr", choices=sorted(CONFIG_FEATURES))
+    p.add_argument("-o", "--output", default="",
+                   help="write the series (.csv -> CSV, else JSONL)")
+    p.add_argument("--interval", type=int, default=5_000,
+                   help="simulated cycles between samples")
+    p.add_argument("--columns", default="",
+                   help="comma list of metric columns to chart (default: all)")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("profile", help="profile the simulator's own wall-clock on one point")
+    p.add_argument("workload", choices=all_names())
+    p.add_argument("config", nargs="?", default="pref_compr", choices=sorted(CONFIG_FEATURES))
+    p.add_argument("-o", "--output", default="", help="write the report as JSON")
+    p.add_argument("--engine", choices=("cprofile", "sampler"), default="cprofile",
+                   help="exact cProfile (~2x slower) or cheap stack sampler")
+    p.add_argument("--events", type=int, default=6_000)
+    p.add_argument("--warmup", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=int, default=4)
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--top", type=int, default=12, help="components to list")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("verify", help="check one point against the functional oracle")
     p.add_argument("workload", choices=all_names())

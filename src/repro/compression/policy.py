@@ -43,6 +43,10 @@ class AdaptiveCompressionPolicy:
         self.counter = 0.0
         self.avoided_miss_events = 0
         self.penalized_hit_events = 0
+        # Optional tracing callback ``hook(compressing, counter)`` fired
+        # when the policy's compress/don't-compress phase flips; installed
+        # by repro.obs.trace and forbidden from touching the counter.
+        self.trace_hook = None
 
     def reset_stats(self) -> None:
         """Zero the *event* tallies; the benefit/cost ``counter`` is the
@@ -66,4 +70,7 @@ class AdaptiveCompressionPolicy:
             self._bump(-self.decompression_penalty)
 
     def _bump(self, delta: float) -> None:
+        was_compressing = self.counter >= 0.0
         self.counter = max(-self.saturation, min(self.saturation, self.counter + delta))
+        if self.trace_hook is not None and (self.counter >= 0.0) != was_compressing:
+            self.trace_hook(self.counter >= 0.0, self.counter)

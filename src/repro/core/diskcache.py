@@ -60,7 +60,19 @@ def point_key(
     events: int,
     warmup: int,
 ) -> str:
-    """Stable content hash identifying one simulation point."""
+    """Stable content hash identifying one simulation point.
+
+    Observability knobs (auditing, tracing, metrics) are stripped from
+    the hashed config: they never change simulation results — the audit
+    and obs test suites prove bit-identical fingerprints — so toggling
+    them must not split the cache into parallel universes of identical
+    results.
+    """
+    cfg = asdict(config)
+    for observability_field in (
+        "audit", "audit_interval", "trace", "metrics", "metrics_interval"
+    ):
+        cfg.pop(observability_field, None)
     payload = {
         "format": CACHE_FORMAT_VERSION,
         "schema": RESULT_SCHEMA_VERSION,
@@ -68,7 +80,7 @@ def point_key(
         "seed": seed,
         "events": events,
         "warmup": warmup,
-        "config": asdict(config),
+        "config": cfg,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -208,10 +208,23 @@ def run_point(
     return result
 
 
+#: Where the most recent run_point result came from (``memo`` / ``disk``
+#: / ``sim``) — per process; the parallel runner reads it right after
+#: each point to feed the live progress renderer.
+_LAST_SOURCE = "sim"
+
+
+def last_point_source() -> str:
+    """Source of the most recent :func:`run_point` in this process."""
+    return _LAST_SOURCE
+
+
 def _emit_point(
     workload: str, key: str, seed: int, source: str, disk_key: Optional[str], t0: float
 ) -> None:
-    """One ``point`` telemetry record; free when telemetry is off."""
+    """Record where the point came from; telemetry is free when off."""
+    global _LAST_SOURCE
+    _LAST_SOURCE = source
     if _telemetry.enabled():
         _telemetry.emit(
             "point",

@@ -113,6 +113,11 @@ class MemoryHierarchy:
         self._bank_free = [0.0] * config.l2.n_banks
         self._l2_access_count = 0
         self._adaptive = pf_cfg.adaptive and pf_cfg.enabled
+        # Opt-in event tracing (repro.obs.trace).  None keeps every
+        # instrumentation site down to one ``is not None`` branch; the
+        # tracer is strictly read-only, so results are bit-identical
+        # with tracing on or off.
+        self.tracer = None
         # Hot-path scalars: the access path runs once per trace event, so
         # repeated ``self.config.*`` attribute chains are hoisted here.
         self._l1i_lat = float(config.l1i.hit_latency)
@@ -134,6 +139,21 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     # public entry point
     # ------------------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Install an event tracer (:class:`repro.obs.trace.Tracer`)
+        across the hierarchy: shared-resource components get a ``tracer``
+        attribute, the adaptive throttles and the compression policy get
+        instant-event hooks.  Tracing is read-only by contract."""
+        self.tracer = tracer
+        self.link.tracer = tracer
+        self.noc.tracer = tracer
+        self.dram.tracer = tracer
+        for core, (pfi, pfd) in enumerate(zip(self.pf_l1i, self.pf_l1d)):
+            pfi.adaptive.trace_hook = tracer.adaptive_hook(f"l1i.core{core}")
+            pfd.adaptive.trace_hook = tracer.adaptive_hook(f"l1d.core{core}")
+        self.l2_adaptive.trace_hook = tracer.adaptive_hook("l2")
+        self.compression_policy.trace_hook = tracer.compression_hook()
 
     def _rebuild_routes(self) -> None:
         """Precompute per-(core, kind) routing tuples for the access path.
@@ -162,6 +182,12 @@ class MemoryHierarchy:
         :meth:`_l1_hit`'s logic; the two must stay in sync.
         """
         route = self._route_i[core] if kind == IFETCH else self._route_d[core]
+        tracer = self.tracer
+        if tracer is not None:
+            # Stamp the current issue time so clock-less policy hooks
+            # (adaptive throttles, compression policy) can timestamp
+            # instants fired anywhere in this access's dynamic extent.
+            tracer.now = now
         l1 = route[0]
         entry = l1._map.get(addr)  # SetAssocCache.probe, inlined
         if entry is not None and entry.valid:
@@ -207,6 +233,12 @@ class MemoryHierarchy:
         else:
             result = self._l1_miss(core, kind, addr, now, route)
             latency = result[0]
+            if tracer is not None:
+                # Demand-miss lifetime on the issuing core's track.
+                tracer.span(
+                    tracer.core_tid(core), route[5] + "_miss", now, latency,
+                    ("addr", addr),
+                )
         # LatencyHistogram.record, inlined (one call per trace event).
         hist = route[3]
         bucket = int(latency).bit_length()  # latencies are non-negative
@@ -375,6 +407,10 @@ class MemoryHierarchy:
             start = now
         bank_free[bank] = start + _BANK_OCCUPANCY
         bank_delay = start - now
+        tracer = self.tracer
+        if tracer is not None:
+            # Bank occupancy window (busy-until, so spans never overlap).
+            tracer.span(tracer.bank_tid(bank), "busy", start, _BANK_OCCUPANCY)
 
         l2 = self.l2
         l2s = self.l2_stats
@@ -625,6 +661,13 @@ class MemoryHierarchy:
         pf.stats.issued += 1
         self.taxonomy.on_issued(route[5])
         latency = self._l2_access(core, addr, now, False, False, True, True)
+        tracer = self.tracer
+        if tracer is not None:
+            # Prefetch issue→fill window on the issuing core's track.
+            tracer.span(
+                tracer.core_tid(core), "pf." + route[5], now,
+                route[4] + latency, ("addr", addr),
+            )
         # The prefetched fill pays its own L1's fill latency (L1I for
         # instruction-side prefetches, L1D for data-side ones).  Skip the
         # fill if a nested L2 prefetch evicted this line from the L2
@@ -649,6 +692,7 @@ class MemoryHierarchy:
             return
         pf_stats.issued += 1
         self.taxonomy.on_issued("l2")
+        tracer = self.tracer
         if self.stream_buffers is not None:
             # Pollution-free placement: the line waits beside the cache.
             bank_delay = self._bank_delay(addr, now)
@@ -656,8 +700,17 @@ class MemoryHierarchy:
                 core, addr, now + bank_delay + self.config.l2.hit_latency, False
             )
             self.stream_buffers[core].insert(addr, data_done, segments)
+            if tracer is not None:
+                tracer.span(
+                    tracer.core_tid(core), "pf.l2", now, data_done - now,
+                    ("addr", addr, "placement", "stream_buffer"),
+                )
             return
-        self._l2_access(core, addr, now, False, False, True)
+        latency = self._l2_access(core, addr, now, False, False, True)
+        if tracer is not None:
+            tracer.span(
+                tracer.core_tid(core), "pf.l2", now, latency, ("addr", addr)
+            )
 
     # ------------------------------------------------------------------
     # compression accounting

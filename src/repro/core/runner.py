@@ -63,15 +63,39 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _run_one(item: Tuple[int, PointSpec]) -> Tuple[int, Any, Optional[Tuple[str, str]]]:
-    """Worker body: run one point, never raise."""
+def _run_one(
+    item: Tuple[int, PointSpec]
+) -> Tuple[int, Any, Optional[Tuple[str, str]], str]:
+    """Worker body: run one point, never raise.
+
+    The fourth element reports where the result came from (``sim`` /
+    ``disk`` / ``memo`` / ``error``) for the live progress renderer.
+    """
     index, ((workload, key), kwargs) = item
     try:
-        from repro.core.experiment import run_point
+        from repro.core.experiment import last_point_source, run_point
 
-        return index, run_point(workload, key, **kwargs), None
+        result = run_point(workload, key, **kwargs)
+        return index, result, None, last_point_source()
     except Exception as exc:  # noqa: BLE001 - captured per point by design
-        return index, None, (repr(exc), traceback.format_exc())
+        return index, None, (repr(exc), traceback.format_exc()), "error"
+
+
+def _notify(
+    progress: Optional[Callable[[int, int], None]],
+    done: int,
+    total: int,
+    source: str,
+) -> None:
+    """Drive a progress callback, upgrading to the richer ``point_done``
+    hook (:class:`repro.obs.progress.SweepProgress`) when present."""
+    if progress is None:
+        return
+    hook = getattr(progress, "point_done", None)
+    if hook is not None:
+        hook(done, total, source=source)
+    else:
+        progress(done, total)
 
 
 class ParallelRunner:
@@ -96,9 +120,9 @@ class ParallelRunner:
         items = list(enumerate(points))
         if self.jobs == 1 or total <= 1:
             for done, item in enumerate(items):
-                self._store(results, points, _run_one(item))
-                if progress is not None:
-                    progress(done + 1, total)
+                outcome = _run_one(item)
+                self._store(results, points, outcome)
+                _notify(progress, done + 1, total, outcome[3])
             self._emit_sweep(results, workers=1, t0=t0)
             return results  # type: ignore[return-value]
 
@@ -124,20 +148,20 @@ class ParallelRunner:
                     except BrokenProcessPool as exc:
                         # A worker was killed (OOM, signal) — the point is
                         # lost, but the sweep must carry on and report it.
-                        outcome = (index, None, (repr(exc), _LOST_WORKER_NOTE))
+                        outcome = (index, None, (repr(exc), _LOST_WORKER_NOTE), "error")
                     except Exception as exc:  # noqa: BLE001 - per-point capture
-                        outcome = (index, None, (repr(exc), traceback.format_exc()))
+                        outcome = (index, None, (repr(exc), traceback.format_exc()), "error")
                     self._store(results, points, outcome)
                     done += 1
-                    if progress is not None:
-                        progress(done, total)
+                    _notify(progress, done, total, outcome[3])
             for index in unsubmitted:
                 self._store(
-                    results, points, (index, None, (repr(BrokenProcessPool()), _LOST_WORKER_NOTE))
+                    results,
+                    points,
+                    (index, None, (repr(BrokenProcessPool()), _LOST_WORKER_NOTE), "error"),
                 )
                 done += 1
-                if progress is not None:
-                    progress(done, total)
+                _notify(progress, done, total, "error")
         self._emit_sweep(results, workers=workers, t0=t0)
         return results  # type: ignore[return-value]
 
@@ -157,9 +181,9 @@ class ParallelRunner:
     def _store(
         results: List[Optional[PointOutcome]],
         points: Sequence[PointSpec],
-        outcome: Tuple[int, Any, Optional[Tuple[str, str]]],
+        outcome: Tuple[int, Any, Optional[Tuple[str, str]], str],
     ) -> None:
-        index, result, error = outcome
+        index, result, error = outcome[:3]
         if error is None:
             results[index] = result
         else:

@@ -23,7 +23,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.experiment import run_point
+from repro.core.experiment import last_point_source, run_point
 from repro.core.results import SimulationResult
 from repro.report.tables import Table
 
@@ -182,5 +182,11 @@ class Sweep:
                 coords["workload"], coords["key"], **kwargs
             )
             if progress is not None:
-                progress(i + 1, total)
+                # Feed the richer renderer hook when present so the
+                # serial path shows memo/disk/sim sources too.
+                hook = getattr(progress, "point_done", None)
+                if hook is not None:
+                    hook(i + 1, total, source=last_point_source())
+                else:
+                    progress(i + 1, total)
         return results

@@ -7,6 +7,7 @@ This is the library's main entry object: construct one from a
 
 from __future__ import annotations
 
+import gc
 import heapq
 import time
 from typing import List, Optional, Union
@@ -15,7 +16,9 @@ from repro.core.hierarchy import MemoryHierarchy
 from repro.core.results import SimulationResult
 from repro.cpu.core import CoreTimingModel
 from repro.obs import audit as _audit
+from repro.obs import metrics as _metrics
 from repro.obs import telemetry as _telemetry
+from repro.obs import trace as _trace
 from repro.params import SystemConfig
 from repro.workloads.base import TraceGenerator, WorkloadSpec
 from repro.workloads.registry import get_spec
@@ -76,6 +79,21 @@ class CMPSystem:
             if _audit.audit_enabled(config)
             else None
         )
+        # Opt-in observability (repro.obs.trace / repro.obs.metrics).
+        # Both layers are strictly read-only — results are bit-identical
+        # with them on or off — and when off each instrumentation site
+        # costs one ``is not None`` branch.
+        self.tracer: Optional[_trace.Tracer] = None
+        if _trace.trace_enabled(config):
+            self.tracer = _trace.Tracer(config.n_cores, config.l2.n_banks)
+            self.hierarchy.attach_tracer(self.tracer)
+            for core in self.cores:
+                core.tracer = self.tracer
+        self.sampler: Optional[_metrics.IntervalSampler] = (
+            _metrics.IntervalSampler(_metrics.metrics_interval(config))
+            if _metrics.metrics_enabled(config)
+            else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -96,11 +114,35 @@ class CMPSystem:
         if warmup_events is None:
             warmup_events = events_per_core // 2
         t0 = time.perf_counter()
-        if warmup_events:
-            self._run_events(warmup_events)
-        t1 = time.perf_counter()
-        self.reset_stats()
-        self._run_events(events_per_core)
+        tracer = self.tracer
+        gc_threshold = None
+        if tracer is not None:
+            # Tracing allocates one buffered record per event; at the
+            # default collection cadence those allocations trigger
+            # frequent full GC passes over the (large, mostly-static)
+            # cache heap, which measured as a double-digit share of the
+            # traced run's wall clock.  The trace buffer is cycle-free,
+            # so deferring collection is safe; restored below.
+            gc_threshold = gc.get_threshold()
+            gc.set_threshold(100_000, gc_threshold[1], gc_threshold[2])
+            tracer.instant(
+                tracer.control_tid, "phase.warmup",
+                max(core.time for core in self.cores),
+            )
+        try:
+            if warmup_events:
+                self._run_events(warmup_events)
+            t1 = time.perf_counter()
+            self.reset_stats()
+            if tracer is not None:
+                tracer.instant(
+                    tracer.control_tid, "phase.measure",
+                    max(core.time for core in self.cores),
+                )
+            self._run_events(events_per_core)
+        finally:
+            if gc_threshold is not None:
+                gc.set_threshold(*gc_threshold)
         t2 = time.perf_counter()
         result = self.collect(config_name or self.config.describe(), events_per_core)
         measured = events_per_core * self.config.n_cores
@@ -117,7 +159,19 @@ class CMPSystem:
             wall_s=t2 - t0,
             events_per_sec=(measured / measure_wall) if measure_wall > 0 else 0.0,
             audit_checks=self.auditor.checks_run if self.auditor is not None else 0,
+            trace_events=len(tracer.events) if tracer is not None else 0,
+            metrics_samples=self.sampler.samples if self.sampler is not None else 0,
         )
+        # Path-valued env knobs auto-write the artifacts at end of run
+        # (mirroring REPRO_AUDIT's path behaviour).
+        if tracer is not None:
+            out = _trace.trace_path()
+            if out:
+                tracer.write(out)
+        if self.sampler is not None:
+            out = _metrics.metrics_path()
+            if out:
+                self.sampler.write(out)
         return result
 
     def _run_events(self, events_per_core: int) -> None:
@@ -144,9 +198,18 @@ class CMPSystem:
         processed = 0
         auditor = self.auditor
         audit_every = auditor.interval if auditor is not None else 0
+        tracer = self.tracer
         if audit_every:
             h = self.hierarchy
             base_accesses = h.l1i_stats.demand_accesses + h.l1d_stats.demand_accesses
+        # Interval metrics sampling: one float compare per event when
+        # enabled, one ``is not None`` test when disabled.  Retired
+        # instructions live in the ``instr`` locals until the loop ends,
+        # so the cumulative count is handed to the sampler explicitly.
+        sampler = self.sampler
+        next_sample = sampler.next_due if sampler is not None else None
+        if sampler is not None:
+            inst_base = sum(core.stats.instructions for core in cores)
         while heap:
             # Peek the earliest core; re-seat it with heapreplace (one
             # sift) instead of a pop + push pair when it continues.
@@ -176,6 +239,10 @@ class CMPSystem:
                 pop(heap)
             if audit_every and not processed % audit_every:
                 auditor.check(expected_l1_accesses=base_accesses + processed)
+                if tracer is not None:
+                    tracer.instant(tracer.control_tid, "audit.check", t)
+            if next_sample is not None and t >= next_sample:
+                next_sample = sampler.sample(self, t, float(inst_base + sum(instr)))
         if audit_every:
             auditor.check(expected_l1_accesses=base_accesses + processed)
         self._events_processed += processed
@@ -192,6 +259,10 @@ class CMPSystem:
         self.hierarchy.reset_stats()
         for core in self.cores:
             core.reset_stats()
+        if self.sampler is not None:
+            # Counters restart from zero; re-base the sampler's deltas so
+            # the first post-reset interval never reads negative rates.
+            self.sampler.on_reset()
 
     def collect(self, config_name: str, events_per_core: int) -> SimulationResult:
         h = self.hierarchy

@@ -30,6 +30,9 @@ class PinLink:
             raise ValueError("pin bandwidth must be positive")
         self.free_time = 0.0
         self.stats = LinkStats()
+        # Optional read-only event tracer (repro.obs.trace); one branch
+        # per data message when disabled.
+        self.tracer = None
 
     def reset_stats(self) -> None:
         self.stats = LinkStats()
@@ -70,6 +73,13 @@ class PinLink:
         duration = nbytes / self.bytes_per_cycle
         self.free_time = start + duration
         self.stats.queue_cycles += start - ready_time
+        if self.tracer is not None:
+            # Busy-until serialization means spans never overlap, so the
+            # link track can use paired B/E duration events.
+            t = self.tracer
+            t.begin(t.link_tid, "data", start,
+                    ("bytes", nbytes, "queue", start - ready_time))
+            t.end(t.link_tid, start + duration)
         return start + duration
 
     # -- introspection ------------------------------------------------------

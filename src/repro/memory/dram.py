@@ -36,6 +36,8 @@ class DRAM:
         self._open_rows: List[int] = [-1] * config.dram_banks
         self.row_hits = 0
         self.row_misses = 0
+        # Optional read-only event tracer (repro.obs.trace).
+        self.tracer = None
 
     def _access_latency(self, addr: int) -> float:
         """Latency of one DRAM access, honouring the open-row model."""
@@ -74,6 +76,11 @@ class DRAM:
         completion = start + self._access_latency(addr)
         heapq.heappush(heap, completion)
         self.demand_requests += 1
+        if self.tracer is not None:
+            self.tracer.span(
+                self.tracer.dram_tid, "demand", start, completion - start,
+                ("core", core),
+            )
         return completion
 
     def issue_prefetch(self, core: int, ready_time: float, addr: int = 0) -> float:
@@ -81,6 +88,11 @@ class DRAM:
         completion = ready_time + self._access_latency(addr)
         heapq.heappush(self._prefetch[core], completion)
         self.prefetch_requests += 1
+        if self.tracer is not None:
+            self.tracer.span(
+                self.tracer.dram_tid, "prefetch", ready_time,
+                completion - ready_time, ("core", core),
+            )
         return completion
 
     def outstanding(self, core: int, now: float) -> int:

@@ -1,12 +1,17 @@
-"""Observability for the simulator: invariant auditing and run telemetry.
+"""Observability for the simulator: invariant auditing, run telemetry,
+event tracing, time-series metrics and profiling.
 
 ``repro.obs.audit`` re-derives the model's structural and accounting
 invariants (inclusion, directory consistency, segment budgets, stats
 conservation) and raises :class:`~repro.obs.audit.AuditViolation` when
 the live state disagrees; ``repro.obs.telemetry`` appends JSONL records
 describing how runs performed (phase wall-clock, events/sec, disk-cache
-traffic).  Both are opt-in and, when off, cost (nearly) nothing on the
-hot path.
+traffic).  ``repro.obs.trace`` records simulated-time spans and instants
+for Perfetto/Chrome trace viewing, ``repro.obs.metrics`` samples a
+columnar time series of IPC/miss-rate/compression/link/prefetch metrics,
+``repro.obs.profile`` measures where the simulator's own wall-clock
+goes, and ``repro.obs.progress`` renders live sweep progress.  All are
+opt-in and, when off, cost (nearly) nothing on the hot path.
 """
 
 from repro.obs.audit import (
@@ -18,13 +23,32 @@ from repro.obs.audit import (
     audit_interval,
 )
 from repro.obs import telemetry
+from repro.obs.metrics import (
+    IntervalSampler,
+    MetricsRegistry,
+    default_registry,
+    metrics_enabled,
+    metrics_interval,
+)
+from repro.obs.progress import SweepProgress, default_progress
+from repro.obs.trace import Tracer, trace_enabled, validate_trace
 
 __all__ = [
     "AuditViolation",
     "Auditor",
+    "IntervalSampler",
+    "MetricsRegistry",
+    "SweepProgress",
+    "Tracer",
     "Violation",
     "audit_enabled",
     "audit_hierarchy",
     "audit_interval",
+    "default_progress",
+    "default_registry",
+    "metrics_enabled",
+    "metrics_interval",
     "telemetry",
+    "trace_enabled",
+    "validate_trace",
 ]

@@ -46,6 +46,52 @@ def enabled() -> bool:
     return bool(os.environ.get(ENV_VAR))
 
 
+# Cached append handles, keyed by sink path.  Reopening the file for
+# every record costs ~3 syscalls (open/close dominate) per emit; a
+# cached handle opened in "a" mode keeps the O_APPEND concurrency
+# guarantee (each record is one short write, appended atomically even
+# with concurrent workers) and the explicit flush per record keeps the
+# crash-safety guarantee (a killed process loses at most the record
+# being written).  Each entry remembers the pid that opened it so a
+# forked worker never writes through — or closes — its parent's handle.
+_SINKS: Dict[str, tuple] = {}
+_SINK_CAP = 8  # distinct sink paths worth caching (tests rotate paths)
+
+
+def _sink(path: str):
+    pid = os.getpid()
+    cached = _SINKS.get(path)
+    if cached is not None and cached[0] == pid:
+        return cached[1]
+    # Note: an inherited parent handle is deliberately *not* closed here
+    # (closing would close the parent's fd state mid-write on some
+    # platforms); dropping the reference is enough.
+    if len(_SINKS) >= _SINK_CAP:
+        for stale_path, (stale_pid, handle) in list(_SINKS.items()):
+            if stale_path != path:
+                if stale_pid == pid:
+                    try:
+                        handle.close()
+                    except OSError:
+                        pass
+                del _SINKS[stale_path]
+    handle = open(path, "a", encoding="utf-8")
+    _SINKS[path] = (pid, handle)
+    return handle
+
+
+def close_sinks() -> None:
+    """Close every cached sink handle (tests and atexit hygiene)."""
+    pid = os.getpid()
+    for _path, (owner, handle) in list(_SINKS.items()):
+        if owner == pid:
+            try:
+                handle.close()
+            except OSError:
+                pass
+    _SINKS.clear()
+
+
 def emit(kind: str, **fields: Any) -> None:
     """Append one record to the telemetry sink; silently do nothing when
     disabled or when the sink cannot be written (telemetry must never
@@ -55,11 +101,22 @@ def emit(kind: str, **fields: Any) -> None:
         return
     record: Dict[str, Any] = {"kind": kind, "ts": time.time(), "pid": os.getpid()}
     record.update(fields)
+    line = json.dumps(record, sort_keys=True) + "\n"
     try:
-        with open(path, "a", encoding="utf-8") as sink:
-            sink.write(json.dumps(record, sort_keys=True) + "\n")
-    except OSError:
-        pass
+        sink = _sink(path)
+        sink.write(line)
+        sink.flush()
+    except (OSError, ValueError):
+        # ValueError: write on a handle something else closed.  Drop the
+        # cached handle and retry once from a fresh open; give up quietly
+        # if the sink is truly unwritable.
+        _SINKS.pop(path, None)
+        try:
+            sink = _sink(path)
+            sink.write(line)
+            sink.flush()
+        except (OSError, ValueError):
+            _SINKS.pop(path, None)
 
 
 def read_records(path: str) -> List[Dict[str, Any]]:
@@ -89,6 +146,10 @@ def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     sources: Dict[str, int] = {}
     cache: Dict[str, int] = {}
     workers = set()
+    sweep_points = 0
+    sweep_errors = 0
+    sweep_wall = 0.0
+    sweep_workers = 0
     for record in records:
         kind = str(record.get("kind"))
         by_kind[kind] = by_kind.get(kind, 0) + 1
@@ -104,6 +165,11 @@ def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         elif kind == "diskcache":
             outcome = str(record.get("outcome", "?"))
             cache[outcome] = cache.get(outcome, 0) + 1
+        elif kind == "sweep":
+            sweep_points += int(record.get("points", 0))
+            sweep_errors += int(record.get("errors", 0))
+            sweep_wall += float(record.get("wall_s", 0.0))
+            sweep_workers = max(sweep_workers, int(record.get("workers", 0)))
     return {
         "records": sum(by_kind.values()),
         "by_kind": by_kind,
@@ -114,4 +180,8 @@ def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         "audit_checks": audit_checks,
         "point_sources": sources,
         "diskcache": cache,
+        "sweep_points": sweep_points,
+        "sweep_errors": sweep_errors,
+        "sweep_wall_s": sweep_wall,
+        "sweep_max_workers": sweep_workers,
     }

@@ -182,10 +182,22 @@ class SystemConfig:
     # :class:`~repro.obs.audit.AuditViolation` can interrupt a run.
     audit: bool = False
     audit_interval: int = 4096
+    # Opt-in observability (repro.obs.trace / repro.obs.metrics):
+    # ``trace`` records simulated-time spans and instants for Perfetto
+    # export; ``metrics`` samples a time series of IPC/miss-rate/
+    # compression/link/prefetch metrics every ``metrics_interval``
+    # simulated cycles.  ``REPRO_TRACE`` / ``REPRO_METRICS`` override
+    # the flags, ``REPRO_METRICS_INTERVAL`` the cadence.  Both layers
+    # are read-only: results are bit-identical with them on or off.
+    trace: bool = False
+    metrics: bool = False
+    metrics_interval: int = 5000
 
     def __post_init__(self) -> None:
         if self.audit_interval <= 0:
             raise ValueError("audit_interval must be positive")
+        if self.metrics_interval <= 0:
+            raise ValueError("metrics_interval must be positive")
 
     @property
     def cache_compression(self) -> bool:
@@ -279,4 +291,7 @@ def config_from_dict(data: dict) -> SystemConfig:
         prefetch=PrefetchConfig(**data["prefetch"]),
         audit=data.get("audit", False),
         audit_interval=data.get("audit_interval", 4096),
+        trace=data.get("trace", False),
+        metrics=data.get("metrics", False),
+        metrics_interval=data.get("metrics_interval", 5000),
     )

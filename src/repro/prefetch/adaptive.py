@@ -38,6 +38,9 @@ class AdaptiveController:
         self.useless_events = 0
         self.harmful_events = 0
         self._probe_clock = 0
+        # Optional tracing callback ``hook(event, counter)`` installed by
+        # repro.obs.trace; must never influence the counter itself.
+        self.trace_hook = None
 
     @property
     def prefetching_enabled(self) -> bool:
@@ -69,16 +72,22 @@ class AdaptiveController:
         self.useful_events += 1
         if self.enabled and self.counter < self.counter_max:
             self.counter += 1
+        if self.trace_hook is not None:
+            self.trace_hook("useful", self.counter)
 
     def on_useless(self) -> None:
         self.useless_events += 1
         if self.enabled and self.counter > 0:
             self.counter -= 1
+        if self.trace_hook is not None:
+            self.trace_hook("useless", self.counter)
 
     def on_harmful(self) -> None:
         self.harmful_events += 1
         if self.enabled and self.counter > 0:
             self.counter -= 1
+        if self.trace_hook is not None:
+            self.trace_hook("harmful", self.counter)
 
     def record(self, stats: PrefetchStats) -> None:
         """Copy event totals into a stats bundle at end of run."""

@@ -67,6 +67,37 @@ def grouped_bar_chart(
     return "\n\n".join(sections)
 
 
+def timeseries_chart(series: Mapping[str, Sequence[float]], *, width: int = 60) -> str:
+    """One sparkline row per named series (the shape of the interval
+    metrics sampler's columns), each annotated with min/mean/max.  Series
+    longer than ``width`` are resampled by bucket mean so a long run
+    still fits one terminal row."""
+    if not series:
+        raise ValueError("nothing to chart")
+    label_w = max(len(k) for k in series)
+    lines = []
+    for name, raw in series.items():
+        values = list(raw)
+        if not values:
+            continue
+        lo, mean, hi = min(values), sum(values) / len(values), max(values)
+        if len(values) > width:
+            step = len(values) / width
+            values = [
+                (lambda chunk: sum(chunk) / len(chunk))(
+                    values[int(i * step): max(int((i + 1) * step), int(i * step) + 1)]
+                )
+                for i in range(width)
+            ]
+        lines.append(
+            f"{name.ljust(label_w)} {sparkline(values)} "
+            f"min={lo:.4g} mean={mean:.4g} max={hi:.4g}"
+        )
+    if not lines:
+        raise ValueError("nothing to chart")
+    return "\n".join(lines)
+
+
 def sparkline(values: Sequence[float]) -> str:
     """Compact trend glyphs for a numeric series (e.g. counter history)."""
     if not values:
