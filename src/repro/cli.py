@@ -5,7 +5,9 @@
     python -m repro run zeus --config pref_compr --events 10000
     python -m repro sweep --workloads zeus,jbb --configs base,pref,compr
     python -m repro sweep --workloads zeus,jbb --jobs 4
+    python -m repro sweep --workloads zeus,jbb --jobs 4 --resume
     python -m repro cache stats
+    python -m repro cache verify
     python -m repro record zeus trace.rpt --events 20000
     python -m repro replay trace.rpt --config compr
     python -m repro table5
@@ -94,6 +96,14 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from repro.core.checkpoint import (
+        SweepJournal,
+        default_journal_path,
+        resume_guard,
+        sweep_spec_key,
+    )
+    from repro.core.sweep import Sweep
+
     workloads = args.workloads.split(",") if args.workloads else all_names()
     keys = args.configs.split(",")
     coords = [(w, k) for w in workloads for k in keys]
@@ -103,40 +113,64 @@ def cmd_sweep(args) -> int:
         from repro.obs.progress import default_progress
 
         progress = default_progress()
-    if args.jobs != 1 and len(coords) > 1:
-        from repro.core.runner import ParallelRunner, PointError
-
-        kwargs = dict(
-            seed=args.seed,
-            events=args.events,
-            warmup=args.warmup if args.warmup is not None else args.events,
-            n_cores=args.cores,
-            scale=args.scale,
-            bandwidth_gbs=args.bandwidth or None,
-            infinite_bandwidth=args.bandwidth == 0,
-            use_cache=False,
+    run_kwargs = dict(
+        seed=args.seed,
+        events=args.events,
+        warmup=args.warmup if args.warmup is not None else args.events,
+        n_cores=args.cores,
+        scale=args.scale,
+        bandwidth_gbs=args.bandwidth or None,
+        infinite_bandwidth=args.bandwidth == 0,
+        use_cache=False,
+    )
+    # Checkpoint journal: on by default for multi-point sweeps, so a
+    # killed sweep can always be resumed with --resume.
+    journal = None
+    if not args.no_journal and len(coords) > 1:
+        path = args.journal or default_journal_path(
+            sweep_spec_key(workloads=workloads, configs=keys, **run_kwargs)
         )
-        points = [((w, k), kwargs) for w, k in coords]
-        outcomes = ParallelRunner(args.jobs or None).run_points(points, progress=progress)
-        results = []
-        failed = 0
-        for outcome in outcomes:
-            if isinstance(outcome, PointError):
-                failed += 1
-                print(f"error: {outcome.workload}/{outcome.key}: {outcome.error}",
-                      file=sys.stderr)
-            else:
-                results.append(outcome)
-        _emit(results, args)
-        return 1 if failed else 0
-    results = []
-    for done, (w, k) in enumerate(coords):
-        results.append(_run_one(w, k, args))
-        if progress is not None:
-            # _run_one bypasses the caches, so every point is a fresh sim.
-            progress.point_done(done + 1, len(coords), source="sim")
-    _emit(results, args)
-    return 0
+        journal = SweepJournal(path, resume=args.resume)
+        if args.resume and journal.completed_count():
+            print(
+                f"resuming: {journal.completed_count()} completed point(s) "
+                f"loaded from {path}",
+                file=sys.stderr,
+            )
+    resume_command = "python -m repro " + " ".join(sys.argv[1:] if sys.argv else [])
+    if "--resume" not in resume_command:
+        resume_command += " --resume"
+    sweep = Sweep().dimension("workload", workloads).dimension("key", keys)
+    if args.jobs == 0:
+        from repro.core.runner import default_jobs
+
+        jobs = default_jobs()  # validates REPRO_JOBS with a readable error
+    else:
+        jobs = args.jobs
+    try:
+        with resume_guard(journal, resume_command):
+            results = sweep.run(
+                jobs=jobs, progress=progress, journal=journal, **run_kwargs
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+    ordered = []
+    failed = 0
+    for w, k in coords:
+        point = results.points.get((w, k))
+        if point is not None:
+            ordered.append(point)
+            continue
+        failed += 1
+        error = results.errors.get((w, k))
+        if error is not None:
+            print(
+                f"error: {error.workload}/{error.key}: [{error.kind}] {error.error}",
+                file=sys.stderr,
+            )
+    _emit(ordered, args)
+    return 1 if failed else 0
 
 
 def cmd_cache(args) -> int:
@@ -147,10 +181,21 @@ def cmd_cache(args) -> int:
         removed = store.clear()
         print(f"removed {removed} cached result(s) from {store.root}")
         return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(f"cache root: {store.root}")
+        print(f"checked:    {report['checked']}")
+        print(f"ok:         {report['ok']}")
+        print(f"corrupt:    {report['corrupt']} (moved to {store.quarantine_dir()})"
+              if report["corrupt"] else "corrupt:    0")
+        print(f"tmp swept:  {report['tmp_swept']}")
+        return 1 if report["corrupt"] else 0
     info = store.stats()
     print(f"cache root: {info['root']}")
     print(f"entries:    {info['entries']}")
     print(f"bytes:      {info['bytes']}")
+    if info["quarantined"]:
+        print(f"quarantined:{info['quarantined']:>5}")
     return 0
 
 
@@ -279,6 +324,17 @@ def cmd_telemetry(args) -> int:
               f"({summary['sweep_errors']} error(s))")
         print(f"sweep wall:     {summary['sweep_wall_s']:.3f} s")
         print(f"sweep workers:  {summary['sweep_max_workers']}")
+        resilience = {
+            "retries": summary["sweep_retries"],
+            "restarts": summary["sweep_restarts"],
+            "timeouts": summary["sweep_timeouts"],
+            "quarantines": summary["sweep_quarantines"],
+        }
+        if any(resilience.values()):
+            print("resilience:     "
+                  + ", ".join(f"{k}={v}" for k, v in resilience.items() if v))
+    if summary["journal_loaded"]:
+        print(f"journal loaded: {summary['journal_loaded']} point(s) resumed")
     return 0
 
 
@@ -521,11 +577,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (0 = REPRO_JOBS/cpu count)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the live progress line on stderr")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from this sweep's checkpoint journal, "
+                        "re-simulating only points it does not hold")
+    p.add_argument("--journal", default="",
+                   help="checkpoint journal path (default: derived from the "
+                        "sweep spec under REPRO_SWEEP_DIR/.repro_sweep/)")
+    p.add_argument("--no-journal", action="store_true",
+                   help="disable checkpointing for this sweep")
     _add_run_args(p)
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
-    p.add_argument("action", choices=("stats", "clear"))
+    p = sub.add_parser("cache", help="inspect, verify or clear the on-disk result cache")
+    p.add_argument("action", choices=("stats", "verify", "clear"))
     p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("table5", help="reproduce Table 5 speedups/interactions")

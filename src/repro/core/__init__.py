@@ -17,6 +17,7 @@ from repro.core.experiment import (
     run_point,
     run_seeds,
 )
+from repro.core.checkpoint import SweepJournal
 from repro.core.diskcache import DiskCache
 from repro.core.runner import ParallelRunner, PointError
 from repro.core.sweep import Sweep, SweepResults
@@ -43,6 +44,7 @@ __all__ = [
     "ParallelRunner",
     "PointError",
     "Sweep",
+    "SweepJournal",
     "SweepResults",
     "CycleBreakdown",
     "analyze",

@@ -238,12 +238,19 @@ def _emit_point(
 
 
 def _run_parallel(
-    points: List[Tuple[Tuple[str, str], Dict]], jobs: Optional[int]
+    points: List[Tuple[Tuple[str, str], Dict]],
+    jobs: Optional[int],
+    on_outcome=None,
 ) -> List[SimulationResult]:
-    """Fan points out to worker processes; raise on any failed point."""
+    """Fan points out to worker processes; raise on any failed point.
+
+    ``on_outcome(index, outcome)`` fires per final outcome (used by the
+    checkpoint journal) *before* any failure aborts the batch, so
+    completed points survive a partial run.
+    """
     from repro.core.runner import ParallelRunner, PointError
 
-    outcomes = ParallelRunner(jobs).run_points(points)
+    outcomes = ParallelRunner(jobs).run_points(points, on_outcome=on_outcome)
     for outcome in outcomes:
         if isinstance(outcome, PointError):
             raise RuntimeError(
@@ -277,19 +284,66 @@ def run_matrix(
     workloads: Iterable[str],
     keys: Iterable[str],
     jobs: Optional[int] = None,
+    journal=None,
     **kwargs,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """Cartesian sweep used by most figures.
 
     ``jobs`` > 1 runs the grid across worker processes; the returned
-    mapping is identical to a serial run.
+    mapping is identical to a serial run.  ``journal`` (a
+    :class:`repro.core.checkpoint.SweepJournal`) checkpoints each
+    completed point and restores already-completed ones bit-identically
+    instead of re-simulating them.
     """
     coords = [(w, k) for w in workloads for k in keys]
-    if jobs is not None and jobs > 1 and len(coords) > 1:
-        points = [((w, k), dict(kwargs)) for w, k in coords]
-        results = _run_parallel(points, jobs)
-        return dict(zip(coords, results))
-    return {(w, k): run_point(w, k, **kwargs) for w, k in coords}
+    if journal is None:
+        if jobs is not None and jobs > 1 and len(coords) > 1:
+            points = [((w, k), dict(kwargs)) for w, k in coords]
+            results = _run_parallel(points, jobs)
+            return dict(zip(coords, results))
+        return {(w, k): run_point(w, k, **kwargs) for w, k in coords}
+
+    from repro.core import checkpoint
+
+    jkeys = {
+        (w, k): checkpoint.point_journal_key(
+            {"workload": w, "key": k}, dict(kwargs)
+        )
+        for w, k in coords
+    }
+    out: Dict[Tuple[str, str], SimulationResult] = {}
+    remaining = []
+    for w, k in coords:
+        restored = journal.result_for(jkeys[(w, k)])
+        if restored is not None:
+            out[(w, k)] = restored
+            remember_point(restored, workload=w, key=k, **kwargs)
+        else:
+            remaining.append((w, k))
+    if remaining:
+        if jobs is not None and jobs > 1 and len(remaining) > 1:
+            points = [((w, k), dict(kwargs)) for w, k in remaining]
+
+            def record(pos, outcome):
+                from repro.core.runner import PointError
+
+                w, k = remaining[pos]
+                coord = {"workload": w, "key": k}
+                if isinstance(outcome, PointError):
+                    journal.record_error(jkeys[(w, k)], coord, outcome)
+                else:
+                    journal.record_result(jkeys[(w, k)], coord, outcome)
+
+            results = _run_parallel(points, jobs, on_outcome=record)
+            out.update(zip(remaining, results))
+        else:
+            for w, k in remaining:
+                result = run_point(w, k, **kwargs)
+                journal.record_result(
+                    jkeys[(w, k)], {"workload": w, "key": k}, result
+                )
+                out[(w, k)] = result
+    return {(w, k): out[(w, k)] for w, k in coords}
 
 
 def clear_cache(disk: bool = False) -> None:

@@ -8,24 +8,55 @@ the output order is deterministic regardless of which worker finishes
 first.  A point that raises is captured as a :class:`PointError` (with
 its coordinates and traceback) instead of killing the whole sweep.
 
+The runner is hardened against the failure modes long sweeps actually
+hit (all of them injectable via :mod:`repro.faults` for tests):
+
+* **Lost workers** — a worker killed by the OS (OOM, signal) breaks the
+  whole ``ProcessPoolExecutor``; the runner respawns the pool and
+  retries the in-flight points instead of converting every pending
+  point into a :class:`PointError`.
+* **Retries** — retryable failures (lost workers, injected transient
+  faults) are retried up to ``REPRO_RETRIES`` times with exponential
+  backoff and deterministic jitter.  Deterministic simulation
+  exceptions are *not* retried: the same input would fail the same way.
+* **Hung points** — with ``REPRO_POINT_TIMEOUT=<seconds>`` set, a point
+  running longer than the budget is recorded as a ``timeout``
+  :class:`PointError`; the stuck worker is terminated, the pool is
+  respawned, and unaffected in-flight points are resubmitted without
+  consuming their retry budget.  (Timeouts need ``jobs > 1``: a hung
+  point cannot be preempted in-process.)
+
 Workers inherit the disk cache (:mod:`repro.core.diskcache`): each
 worker process consults and populates it through ``run_point``, so a
 parallel sweep warms the same persistent cache a serial one would.
 
-Environment knob: ``REPRO_JOBS`` — default worker count when none is
-given (falls back to ``os.cpu_count()``).
+Environment knobs:
+
+* ``REPRO_JOBS``          — default worker count (falls back to
+  ``os.cpu_count()``)
+* ``REPRO_RETRIES``       — max retries per point for retryable
+  failures (default 2)
+* ``REPRO_POINT_TIMEOUT`` — per-point wall-clock budget in seconds
+  (default: none)
+* ``REPRO_RETRY_BACKOFF`` — base backoff seconds before the first
+  retry (default 0.05; doubled per attempt, with deterministic jitter)
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import time
 import traceback
+import warnings
+import zlib
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.core.results import SimulationResult
 from repro.obs import telemetry as _telemetry
 
@@ -35,16 +66,25 @@ PointSpec = Tuple[Tuple[str, str], Dict[str, Any]]
 
 @dataclass
 class PointError:
-    """A grid point that failed; the sweep carries on without it."""
+    """A grid point that failed; the sweep carries on without it.
+
+    ``kind`` classifies the failure: ``error`` (the simulation raised),
+    ``transient`` (an injected retryable fault survived every retry),
+    ``lost-worker`` (the worker process died and retries ran out) or
+    ``timeout`` (the point exceeded ``REPRO_POINT_TIMEOUT``).
+    ``attempts`` counts how many times the point was tried.
+    """
 
     workload: str
     key: str
     kwargs: Dict[str, Any] = field(default_factory=dict)
     error: str = ""
     traceback: str = ""
+    kind: str = "error"
+    attempts: int = 1
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
-        return f"PointError({self.workload}/{self.key}: {self.error})"
+        return f"PointError({self.workload}/{self.key}: [{self.kind}] {self.error})"
 
 
 PointOutcome = Union[SimulationResult, PointError]
@@ -53,32 +93,136 @@ _LOST_WORKER_NOTE = (
     "worker process terminated abruptly (killed by the OS, e.g. OOM or a "
     "signal) before returning a result; the point was not simulated"
 )
+_TIMEOUT_NOTE = (
+    "point exceeded the per-point wall-clock budget (REPRO_POINT_TIMEOUT); "
+    "the stuck worker was terminated and the pool respawned"
+)
+
+#: Internal worker-outcome tuple:
+#: (index, result, error-or-None, source, retryable, quarantines)
+#: where error = (repr, traceback, kind).
+_Outcome = Tuple[int, Any, Optional[Tuple[str, str, str]], str, bool, int]
+
+
+def _env_pos_int(name: str, default: int, *, minimum: int = 0) -> int:
+    """A non-negative integer env knob with a readable failure mode."""
+    value = os.environ.get(name)
+    if not value:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer >= {minimum}, got {value!r}"
+        ) from None
+    if parsed < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {parsed}")
+    return parsed
 
 
 def default_jobs() -> int:
-    """``REPRO_JOBS`` if set, else the machine's CPU count."""
-    value = os.environ.get("REPRO_JOBS")
-    if value:
-        return max(int(value), 1)
-    return os.cpu_count() or 1
+    """``REPRO_JOBS`` if set, else the machine's CPU count.
+
+    A non-integer value (e.g. ``REPRO_JOBS=max``) raises a readable
+    :class:`ValueError` instead of a bare conversion traceback; the CLI
+    turns it into a one-line error with exit code 2.
+    """
+    return max(_env_pos_int("REPRO_JOBS", os.cpu_count() or 1, minimum=1), 1)
 
 
-def _run_one(
-    item: Tuple[int, PointSpec]
-) -> Tuple[int, Any, Optional[Tuple[str, str]], str]:
+def default_retries() -> int:
+    """``REPRO_RETRIES``: max retries per point for retryable failures."""
+    return _env_pos_int("REPRO_RETRIES", 2, minimum=0)
+
+
+def default_point_timeout() -> Optional[float]:
+    """``REPRO_POINT_TIMEOUT`` in seconds, or None when unset."""
+    value = os.environ.get("REPRO_POINT_TIMEOUT")
+    if not value:
+        return None
+    try:
+        timeout = float(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_POINT_TIMEOUT must be a number of seconds, got {value!r}"
+        ) from None
+    if timeout <= 0:
+        raise ValueError(f"REPRO_POINT_TIMEOUT must be positive, got {timeout}")
+    return timeout
+
+
+def _retry_backoff_s(index: int, attempt: int) -> float:
+    """Exponential backoff before retry ``attempt`` (1-based) of point
+    ``index``, with deterministic jitter in [0.5, 1.0) so retried points
+    neither stampede together nor perturb reproducibility."""
+    value = os.environ.get("REPRO_RETRY_BACKOFF")
+    try:
+        base = float(value) if value else 0.05
+    except ValueError:
+        raise ValueError(
+            f"REPRO_RETRY_BACKOFF must be a number of seconds, got {value!r}"
+        ) from None
+    jitter = 0.5 + 0.5 * (zlib.crc32(f"{index}:{attempt}".encode()) / 0xFFFFFFFF)
+    return base * (2.0 ** (attempt - 1)) * jitter
+
+
+#: True in pool worker processes (set by the pool initializer); the
+#: process-killing fault sites only fire there, never in the parent.
+_IN_WORKER = False
+
+
+def _worker_init() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+    # Workers are forked after the parent may have installed its
+    # checkpoint resume-guard signal handlers; left inherited, the
+    # SIGTERM a pool respawn sends to a stuck worker would make the
+    # *worker* print the parent's resume hint.  Restore sane defaults:
+    # ignore SIGINT (the parent owns Ctrl-C) and die plainly on SIGTERM.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
+def _run_one(item: Tuple[int, PointSpec, int]) -> _Outcome:
     """Worker body: run one point, never raise.
 
-    The fourth element reports where the result came from (``sim`` /
-    ``disk`` / ``memo`` / ``error``) for the live progress renderer.
+    The ``source`` element reports where the result came from (``sim`` /
+    ``disk`` / ``memo`` / ``error``) for the live progress renderer;
+    ``quarantines`` counts disk-cache entries quarantined while the
+    point ran so the parent can surface them.
     """
-    index, ((workload, key), kwargs) = item
+    index, ((workload, key), kwargs), attempt = item
     try:
+        from repro.core import diskcache
         from repro.core.experiment import last_point_source, run_point
 
+        quarantined_before = diskcache.quarantine_count()
+        if faults.active():
+            hit = faults.should("transient", index=index, attempt=attempt)
+            if hit is not None:
+                raise faults.TransientFault(
+                    f"injected transient fault (point {index}, attempt {attempt})"
+                )
+            if _IN_WORKER:
+                hit = faults.should("kill", index=index, attempt=attempt)
+                if hit is not None:
+                    os._exit(int(hit.arg) if hit.arg is not None else 1)
+                hit = faults.should("hang", index=index, attempt=attempt)
+                if hit is not None:
+                    time.sleep(hit.arg if hit.arg is not None else 3600.0)
         result = run_point(workload, key, **kwargs)
-        return index, result, None, last_point_source()
+        quarantines = diskcache.quarantine_count() - quarantined_before
+        return index, result, None, last_point_source(), False, quarantines
+    except faults.TransientFault as exc:
+        return index, None, (repr(exc), traceback.format_exc(), "transient"), "error", True, 0
     except Exception as exc:  # noqa: BLE001 - captured per point by design
-        return index, None, (repr(exc), traceback.format_exc()), "error"
+        return index, None, (repr(exc), traceback.format_exc(), "error"), "error", False, 0
+
+
+_WARNED_PROGRESS = False
 
 
 def _notify(
@@ -88,14 +232,45 @@ def _notify(
     source: str,
 ) -> None:
     """Drive a progress callback, upgrading to the richer ``point_done``
-    hook (:class:`repro.obs.progress.SweepProgress`) when present."""
+    hook (:class:`repro.obs.progress.SweepProgress`) when present.
+
+    The renderer is observability, not control flow: an exception from a
+    user callback is downgraded to a one-time warning instead of
+    aborting the sweep mid-drain.  (``KeyboardInterrupt`` still
+    propagates — interrupting a sweep from a hook is deliberate.)
+    """
+    global _WARNED_PROGRESS
     if progress is None:
         return
-    hook = getattr(progress, "point_done", None)
-    if hook is not None:
-        hook(done, total, source=source)
-    else:
-        progress(done, total)
+    try:
+        hook = getattr(progress, "point_done", None)
+        if hook is not None:
+            hook(done, total, source=source)
+        else:
+            progress(done, total)
+    except Exception as exc:  # noqa: BLE001 - observability must not abort
+        if not _WARNED_PROGRESS:
+            _WARNED_PROGRESS = True
+            warnings.warn(
+                f"progress callback raised {exc!r}; the sweep continues and "
+                "further progress errors are suppressed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+
+def _event(progress: Optional[Callable], kind: str) -> None:
+    """Feed a resilience event (retry / restart / timeout / quarantine)
+    to a renderer that understands the optional ``event`` hook."""
+    if progress is None:
+        return
+    hook = getattr(progress, "event", None)
+    if hook is None:
+        return
+    try:
+        hook(kind)
+    except Exception:  # noqa: BLE001 - same contract as _notify
+        pass
 
 
 class ParallelRunner:
@@ -108,65 +283,276 @@ class ParallelRunner:
         self,
         points: Sequence[PointSpec],
         progress: Optional[Callable[[int, int], None]] = None,
+        on_outcome: Optional[Callable[[int, PointOutcome], None]] = None,
     ) -> List[PointOutcome]:
         """Execute every point; result ``i`` corresponds to ``points[i]``.
 
         ``progress(done, total)`` fires as each point completes (in
         completion order; the returned list is in input order).
+        ``on_outcome(index, outcome)`` fires in the parent process the
+        moment a point's outcome is final — before the progress
+        notification — so callers can checkpoint crash-safely.
         """
         total = len(points)
         t0 = time.perf_counter()
         results: List[Optional[PointOutcome]] = [None] * total
-        items = list(enumerate(points))
+        stats = {"retries": 0, "restarts": 0, "timeouts": 0, "quarantines": 0}
+        max_retries = default_retries()
         if self.jobs == 1 or total <= 1:
-            for done, item in enumerate(items):
-                outcome = _run_one(item)
-                self._store(results, points, outcome)
-                _notify(progress, done + 1, total, outcome[3])
-            self._emit_sweep(results, workers=1, t0=t0)
-            return results  # type: ignore[return-value]
-
-        workers = min(self.jobs, total)
-        done = 0
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            future_index: Dict[Any, int] = {}
-            unsubmitted: List[int] = []
-            try:
-                for item in items:
-                    future_index[pool.submit(_run_one, item)] = item[0]
-            except BrokenProcessPool:
-                # The pool died mid-submission; whatever was not accepted
-                # becomes a lost point, and the accepted futures drain below.
-                unsubmitted = [i for i, _ in items[len(future_index):]]
-            pending = set(future_index)
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index = future_index[future]
-                    try:
-                        outcome = future.result()
-                    except BrokenProcessPool as exc:
-                        # A worker was killed (OOM, signal) — the point is
-                        # lost, but the sweep must carry on and report it.
-                        outcome = (index, None, (repr(exc), _LOST_WORKER_NOTE), "error")
-                    except Exception as exc:  # noqa: BLE001 - per-point capture
-                        outcome = (index, None, (repr(exc), traceback.format_exc()), "error")
-                    self._store(results, points, outcome)
-                    done += 1
-                    _notify(progress, done, total, outcome[3])
-            for index in unsubmitted:
-                self._store(
-                    results,
-                    points,
-                    (index, None, (repr(BrokenProcessPool()), _LOST_WORKER_NOTE), "error"),
-                )
-                done += 1
-                _notify(progress, done, total, "error")
-        self._emit_sweep(results, workers=workers, t0=t0)
+            self._run_serial(points, results, progress, on_outcome, stats, max_retries)
+        else:
+            self._run_parallel(points, results, progress, on_outcome, stats, max_retries)
+        self._emit_sweep(results, workers=min(self.jobs, total), t0=t0, stats=stats)
         return results  # type: ignore[return-value]
 
+    # -- serial path --------------------------------------------------------
+
+    def _run_serial(
+        self,
+        points: Sequence[PointSpec],
+        results: List[Optional[PointOutcome]],
+        progress: Optional[Callable],
+        on_outcome: Optional[Callable],
+        stats: Dict[str, int],
+        max_retries: int,
+    ) -> None:
+        total = len(points)
+        for done, (index, spec) in enumerate(enumerate(points)):
+            attempt = 0
+            while True:
+                outcome = _run_one((index, spec, attempt))
+                if (
+                    outcome[2] is not None
+                    and outcome[4]
+                    and attempt < max_retries
+                ):
+                    attempt += 1
+                    self._note_retry(stats, progress, index, attempt, outcome[2][2])
+                    time.sleep(_retry_backoff_s(index, attempt))
+                    continue
+                break
+            self._finalize(
+                results, points, outcome, attempt + 1, done + 1, total,
+                progress, on_outcome, stats,
+            )
+
+    # -- parallel path ------------------------------------------------------
+
+    def _run_parallel(
+        self,
+        points: Sequence[PointSpec],
+        results: List[Optional[PointOutcome]],
+        progress: Optional[Callable],
+        on_outcome: Optional[Callable],
+        stats: Dict[str, int],
+        max_retries: int,
+    ) -> None:
+        """Windowed scheduler: at most ``workers`` points are in flight,
+        so each in-flight future's submission time approximates its run
+        start — which is what makes per-point timeouts enforceable on a
+        plain ``ProcessPoolExecutor``."""
+        total = len(points)
+        workers = min(self.jobs, total)
+        timeout = default_point_timeout()
+        pool = ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
+        queue: deque = deque((i, 0) for i in range(total))
+        waiting: List[Tuple[float, int, int]] = []  # (ready_at, index, attempt)
+        inflight: Dict[Any, Tuple[int, int, float]] = {}  # fut -> (idx, att, started)
+        done = 0
+
+        def respawn(old: ProcessPoolExecutor) -> ProcessPoolExecutor:
+            stats["restarts"] += 1
+            _event(progress, "restart")
+            if _telemetry.enabled():
+                _telemetry.emit("pool-restart", workers=workers)
+            procs = list(getattr(old, "_processes", None) or {})
+            try:
+                old.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 - a broken pool may refuse politely
+                pass
+            for proc in (getattr(old, "_processes", None) or {}).values():
+                try:
+                    proc.terminate()
+                except Exception:  # noqa: BLE001 - already dead is fine
+                    pass
+            del procs
+            # Let the dead pool's manager thread finish closing its
+            # wakeup pipe; otherwise interpreter exit races it and logs
+            # a spurious "Exception ignored ... Bad file descriptor".
+            thread = getattr(old, "_executor_manager_thread", None)
+            if thread is not None:
+                thread.join(timeout=1.0)
+            return ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
+
+        try:
+            while done < total:
+                now = time.perf_counter()
+                if waiting:
+                    ready = [w for w in waiting if w[0] <= now]
+                    waiting = [w for w in waiting if w[0] > now]
+                    for _at, idx, att in sorted(ready, key=lambda w: w[1]):
+                        queue.append((idx, att))
+                while queue and len(inflight) < workers:
+                    idx, att = queue.popleft()
+                    try:
+                        fut = pool.submit(_run_one, (idx, points[idx], att))
+                    except (BrokenProcessPool, RuntimeError):
+                        # The pool died between drain and submit (e.g. a
+                        # worker was killed mid-submission): respawn once
+                        # and resubmit on the fresh pool.
+                        pool = respawn(pool)
+                        fut = pool.submit(_run_one, (idx, points[idx], att))
+                    inflight[fut] = (idx, att, time.perf_counter())
+                if not inflight:
+                    if waiting:
+                        next_ready = min(w[0] for w in waiting)
+                        time.sleep(max(next_ready - time.perf_counter(), 0.0))
+                        continue
+                    break  # defensive: done should already equal total
+                wait_s: Optional[float] = None
+                if timeout is not None:
+                    oldest = min(start for (_i, _a, start) in inflight.values())
+                    wait_s = max(oldest + timeout - time.perf_counter(), 0.0)
+                if waiting:
+                    until_retry = min(w[0] for w in waiting) - time.perf_counter()
+                    wait_s = until_retry if wait_s is None else min(wait_s, until_retry)
+                    wait_s = max(wait_s, 0.0)
+                finished, _pending = wait(
+                    set(inflight), timeout=wait_s, return_when=FIRST_COMPLETED
+                )
+                pool_broken = False
+                for fut in finished:
+                    idx, att, _started = inflight.pop(fut)
+                    try:
+                        outcome: _Outcome = fut.result()
+                    except BrokenProcessPool as exc:
+                        pool_broken = True
+                        outcome = (
+                            idx, None, (repr(exc), _LOST_WORKER_NOTE, "lost-worker"),
+                            "error", True, 0,
+                        )
+                    except Exception as exc:  # noqa: BLE001 - per-point capture
+                        outcome = (
+                            idx, None, (repr(exc), traceback.format_exc(), "error"),
+                            "error", False, 0,
+                        )
+                    if (
+                        outcome[2] is not None
+                        and outcome[4]
+                        and att < max_retries
+                    ):
+                        retry_attempt = att + 1
+                        self._note_retry(
+                            stats, progress, idx, retry_attempt, outcome[2][2]
+                        )
+                        waiting.append((
+                            time.perf_counter() + _retry_backoff_s(idx, retry_attempt),
+                            idx,
+                            retry_attempt,
+                        ))
+                        continue
+                    done += 1
+                    self._finalize(
+                        results, points, outcome, att + 1, done, total,
+                        progress, on_outcome, stats,
+                    )
+                if pool_broken:
+                    # Remaining in-flight futures on the broken pool have
+                    # already been failed with BrokenProcessPool by the
+                    # executor; they surface through the loop above on the
+                    # next drain.  The pool itself must be replaced before
+                    # anything else is submitted.
+                    pool = respawn(pool)
+                    continue
+                if timeout is not None and inflight:
+                    now = time.perf_counter()
+                    expired = [
+                        fut for fut, (_i, _a, started) in inflight.items()
+                        if now - started >= timeout
+                    ]
+                    if expired:
+                        for fut in expired:
+                            idx, att, _started = inflight.pop(fut)
+                            stats["timeouts"] += 1
+                            _event(progress, "timeout")
+                            if _telemetry.enabled():
+                                _telemetry.emit(
+                                    "point-timeout", index=idx,
+                                    attempt=att, timeout_s=timeout,
+                                )
+                            done += 1
+                            self._finalize(
+                                results, points,
+                                (
+                                    idx, None,
+                                    (
+                                        f"TimeoutError('point exceeded "
+                                        f"{timeout}s wall-clock budget')",
+                                        _TIMEOUT_NOTE, "timeout",
+                                    ),
+                                    "error", False, 0,
+                                ),
+                                att + 1, done, total, progress, on_outcome, stats,
+                            )
+                        # The stuck worker cannot be preempted individually:
+                        # burn the pool, terminate its processes, and give
+                        # the unaffected in-flight points a free
+                        # resubmission (no retry budget consumed).
+                        for fut, (idx, att, _started) in inflight.items():
+                            queue.append((idx, att))
+                        inflight.clear()
+                        pool = respawn(pool)
+        finally:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 - teardown must not mask results
+                pass
+
+    # -- shared bookkeeping -------------------------------------------------
+
+    def _note_retry(
+        self,
+        stats: Dict[str, int],
+        progress: Optional[Callable],
+        index: int,
+        attempt: int,
+        kind: str,
+    ) -> None:
+        stats["retries"] += 1
+        _event(progress, "retry")
+        if _telemetry.enabled():
+            _telemetry.emit("retry", index=index, attempt=attempt, fault=kind)
+
+    def _finalize(
+        self,
+        results: List[Optional[PointOutcome]],
+        points: Sequence[PointSpec],
+        outcome: _Outcome,
+        attempts: int,
+        done: int,
+        total: int,
+        progress: Optional[Callable],
+        on_outcome: Optional[Callable],
+        stats: Dict[str, int],
+    ) -> None:
+        index = outcome[0]
+        quarantines = outcome[5] if len(outcome) > 5 else 0
+        if quarantines:
+            stats["quarantines"] += quarantines
+            for _ in range(quarantines):
+                _event(progress, "quarantine")
+        self._store(results, points, outcome, attempts=attempts)
+        if on_outcome is not None:
+            on_outcome(index, results[index])
+        _notify(progress, done, total, outcome[3])
+
     @staticmethod
-    def _emit_sweep(results: Sequence[Optional[PointOutcome]], workers: int, t0: float) -> None:
+    def _emit_sweep(
+        results: Sequence[Optional[PointOutcome]],
+        workers: int,
+        t0: float,
+        stats: Optional[Dict[str, int]] = None,
+    ) -> None:
         if _telemetry.enabled():
             errors = sum(1 for r in results if isinstance(r, PointError))
             _telemetry.emit(
@@ -175,13 +561,15 @@ class ParallelRunner:
                 errors=errors,
                 workers=workers,
                 wall_s=time.perf_counter() - t0,
+                **(stats or {}),
             )
 
     @staticmethod
     def _store(
         results: List[Optional[PointOutcome]],
         points: Sequence[PointSpec],
-        outcome: Tuple[int, Any, Optional[Tuple[str, str]], str],
+        outcome: Tuple,
+        attempts: int = 1,
     ) -> None:
         index, result, error = outcome[:3]
         if error is None:
@@ -194,4 +582,6 @@ class ParallelRunner:
                 kwargs=dict(kwargs),
                 error=error[0],
                 traceback=error[1],
+                kind=error[2] if len(error) > 2 else "error",
+                attempts=attempts,
             )

@@ -23,6 +23,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import checkpoint
 from repro.core.experiment import last_point_source, run_point
 from repro.core.results import SimulationResult
 from repro.report.tables import Table
@@ -99,6 +100,31 @@ class SweepResults:
         return table
 
 
+class _OffsetProgress:
+    """Adapter that re-bases a runner's subset progress onto the full
+    grid when a resumed sweep skips journal-completed points."""
+
+    def __init__(self, inner, offset: int, total: int) -> None:
+        self.inner = inner
+        self.offset = offset
+        self.total = total
+
+    def point_done(self, done: int, _total: int, source=None) -> None:
+        hook = getattr(self.inner, "point_done", None)
+        if hook is not None:
+            hook(done + self.offset, self.total, source=source)
+        else:
+            self.inner(done + self.offset, self.total)
+
+    def event(self, kind: str) -> None:
+        hook = getattr(self.inner, "event", None)
+        if hook is not None:
+            hook(kind)
+
+    def __call__(self, done: int, total: int) -> None:
+        self.point_done(done, total)
+
+
 class Sweep:
     """Factorial sweep builder over run_point's parameter space."""
 
@@ -130,6 +156,7 @@ class Sweep:
         warmup: Optional[int] = None,
         jobs: Optional[int] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        journal: Optional["checkpoint.SweepJournal"] = None,
         **fixed_kwargs,
     ) -> SweepResults:
         """Simulate every grid point (cached via run_point's memo and the
@@ -140,6 +167,13 @@ class Sweep:
         are identical to a serial run, and a grid point that raises is
         recorded in :attr:`SweepResults.errors` instead of aborting the
         sweep.
+
+        ``journal`` checkpoints every completed point crash-safely (see
+        :class:`repro.core.checkpoint.SweepJournal`): points the journal
+        already holds are loaded bit-identically instead of re-simulated
+        (their progress source reads ``journal``), and every new outcome
+        is journaled the moment it is final — so a sweep killed at any
+        point resumes where it stopped.
         """
         if "workload" not in self._dims:
             raise ValueError("a sweep needs a 'workload' dimension")
@@ -160,33 +194,74 @@ class Sweep:
             kwargs.setdefault("warmup", warmup)
             run_kwargs.append((coords, kwargs))
 
-        if jobs is not None and jobs > 1 and total > 1:
-            from repro.core.experiment import remember_point
-            from repro.core.runner import ParallelRunner, PointError
+        from repro.core.runner import ParallelRunner, PointError, _notify
 
-            points = [
-                ((coords["workload"], coords["key"]), kwargs)
+        # Seed already-completed points from the checkpoint journal.
+        jkeys: Optional[List[str]] = None
+        skipped: List[int] = []
+        if journal is not None:
+            jkeys = [
+                checkpoint.point_journal_key(coords, kwargs)
                 for coords, kwargs in run_kwargs
             ]
-            outcomes = ParallelRunner(jobs).run_points(points, progress=progress)
-            for combo, ((workload, key), kwargs), outcome in zip(combos, points, outcomes):
+            for i, combo in enumerate(combos):
+                restored = journal.result_for(jkeys[i])
+                if restored is not None:
+                    results.points[tuple(combo)] = restored
+                    skipped.append(i)
+            for n, _i in enumerate(skipped):
+                _notify(progress, n + 1, total, "journal")
+        remaining = [i for i in range(total) if i not in set(skipped)]
+        if not remaining:
+            return results
+        prog = progress
+        if progress is not None and skipped:
+            prog = _OffsetProgress(progress, len(skipped), total)
+
+        def journal_outcome(pos: int, outcome) -> None:
+            if journal is None:
+                return
+            i = remaining[pos]
+            coords = run_kwargs[i][0]
+            if isinstance(outcome, PointError):
+                journal.record_error(jkeys[i], coords, outcome)
+            else:
+                journal.record_result(jkeys[i], coords, outcome)
+
+        if jobs is not None and jobs > 1 and len(remaining) > 1:
+            from repro.core.experiment import remember_point
+
+            points = [
+                (
+                    (run_kwargs[i][0]["workload"], run_kwargs[i][0]["key"]),
+                    run_kwargs[i][1],
+                )
+                for i in remaining
+            ]
+            outcomes = ParallelRunner(jobs).run_points(
+                points, progress=prog, on_outcome=journal_outcome
+            )
+            for i, ((workload, key), kwargs), outcome in zip(
+                remaining, points, outcomes
+            ):
+                combo = combos[i]
                 if isinstance(outcome, PointError):
                     results.errors[tuple(combo)] = outcome
                 else:
                     results.points[tuple(combo)] = outcome
-                    remember_point(outcome, workload=workload, key=key, **kwargs)
+                    if kwargs.get("use_cache", True):
+                        memo_kwargs = {
+                            k: v for k, v in kwargs.items() if k != "use_cache"
+                        }
+                        remember_point(
+                            outcome, workload=workload, key=key, **memo_kwargs
+                        )
             return results
 
-        for i, (combo, (coords, kwargs)) in enumerate(zip(combos, run_kwargs)):
-            results.points[tuple(combo)] = run_point(
-                coords["workload"], coords["key"], **kwargs
-            )
-            if progress is not None:
-                # Feed the richer renderer hook when present so the
-                # serial path shows memo/disk/sim sources too.
-                hook = getattr(progress, "point_done", None)
-                if hook is not None:
-                    hook(i + 1, total, source=last_point_source())
-                else:
-                    progress(i + 1, total)
+        for n, i in enumerate(remaining):
+            coords, kwargs = run_kwargs[i]
+            result = run_point(coords["workload"], coords["key"], **kwargs)
+            results.points[tuple(combos[i])] = result
+            journal_outcome(n, result)
+            _notify(prog, n + 1, len(remaining), last_point_source())
         return results

@@ -1,0 +1,25 @@
+"""Deterministic fault injection (see :mod:`repro.faults.inject`)."""
+
+from repro.faults.inject import (
+    ENV_VAR,
+    KINDS,
+    Clause,
+    FaultHit,
+    TransientFault,
+    active,
+    parse_plan,
+    reset,
+    should,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "KINDS",
+    "Clause",
+    "FaultHit",
+    "TransientFault",
+    "active",
+    "parse_plan",
+    "reset",
+    "should",
+]

@@ -7,10 +7,14 @@ The renderer redraws one status line per completed point::
     sweep  12/64 [#####...............] 3.2 pt/s eta 16s sim=9 disk=2 memo=1
 
 Rate and ETA come from a wall-clock window over completed points; the
-``sim``/``disk``/``memo`` counts show where each result came from
-(fresh simulation, the persistent disk cache, or the in-process memo),
-which is usually the difference between a 40-minute sweep and a
-2-second one.  Failed points add an ``err=N`` field.
+``sim``/``disk``/``memo``/``journal`` counts show where each result
+came from (fresh simulation, the persistent disk cache, the in-process
+memo, or a resumed checkpoint journal), which is usually the difference
+between a 40-minute sweep and a 2-second one.  Failed points add an
+``err=N`` field, and the runner's resilience events append ``retry=N``
+(retried attempts), ``restart=N`` (worker-pool respawns), ``tmo=N``
+(points killed by ``REPRO_POINT_TIMEOUT``) and ``quar=N`` (corrupt
+cache entries quarantined) as they happen.
 
 The runner feeds outcome/source detail through the optional
 :meth:`point_done` hook; a plain ``progress(done, total)`` callable
@@ -41,7 +45,8 @@ class SweepProgress:
         self.stream = stream if stream is not None else sys.stderr
         self._now = now if now is not None else time.monotonic
         self.started = self._now()
-        self.sources = {"sim": 0, "disk": 0, "memo": 0}
+        self.sources = {"sim": 0, "disk": 0, "memo": 0, "journal": 0}
+        self.events = {"retry": 0, "restart": 0, "timeout": 0, "quarantine": 0}
         self.errors = 0
         self.done = 0
         self.total = 0
@@ -67,6 +72,13 @@ class SweepProgress:
         self._render()
         if done >= total:
             self.close()
+
+    def event(self, kind: str) -> None:
+        """A resilience event from the runner: ``retry`` / ``restart`` /
+        ``timeout`` / ``quarantine``."""
+        if kind in self.events:
+            self.events[kind] += 1
+            self._render()
 
     def close(self) -> None:
         """Finish the line (idempotent)."""
@@ -109,6 +121,9 @@ class SweepProgress:
         parts += [f"{k}={v}" for k, v in self.sources.items() if v]
         if self.errors:
             parts.append(f"err={self.errors}")
+        short = {"retry": "retry", "restart": "restart",
+                 "timeout": "tmo", "quarantine": "quar"}
+        parts += [f"{short[k]}={v}" for k, v in self.events.items() if v]
         line = " ".join(parts)
         pad = max(self._line_len - len(line), 0)
         self.stream.write("\r" + line + " " * pad)

@@ -23,9 +23,18 @@ Kinds emitted by the simulator stack:
 * ``point`` — one per :func:`repro.core.experiment.run_point`: workload,
   config key, where the result came from (``memo`` / ``disk`` / ``sim``),
   the point's cache key, wall seconds;
-* ``diskcache`` — one per disk-cache probe/store: hit / miss / store;
+* ``diskcache`` — one per disk-cache probe/store: hit / miss / store,
+  plus the resilience outcomes ``corrupt`` (entry quarantined) and
+  ``store-failed`` (serialization or I/O failure on write);
 * ``sweep`` — one per :meth:`ParallelRunner.run_points` call: point
-  count, error count, worker count, wall seconds.
+  count, error count, worker count, wall seconds, plus retry / pool
+  restart / timeout / quarantine counts;
+* ``retry`` — one per retried point attempt (index, attempt, fault kind);
+* ``pool-restart`` — one per worker-pool respawn after a lost worker or
+  a timed-out point;
+* ``point-timeout`` — one per point killed by ``REPRO_POINT_TIMEOUT``;
+* ``journal`` — one per checkpointed sweep: journal path, points loaded
+  on resume, points recorded.
 
 Read the stream back with ``repro telemetry <file>`` (see
 :mod:`repro.cli`), which aggregates per-kind counts and rates.
@@ -150,6 +159,11 @@ def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     sweep_errors = 0
     sweep_wall = 0.0
     sweep_workers = 0
+    sweep_retries = 0
+    sweep_restarts = 0
+    sweep_timeouts = 0
+    sweep_quarantines = 0
+    journal_loaded = 0
     for record in records:
         kind = str(record.get("kind"))
         by_kind[kind] = by_kind.get(kind, 0) + 1
@@ -170,6 +184,12 @@ def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             sweep_errors += int(record.get("errors", 0))
             sweep_wall += float(record.get("wall_s", 0.0))
             sweep_workers = max(sweep_workers, int(record.get("workers", 0)))
+            sweep_retries += int(record.get("retries", 0))
+            sweep_restarts += int(record.get("restarts", 0))
+            sweep_timeouts += int(record.get("timeouts", 0))
+            sweep_quarantines += int(record.get("quarantines", 0))
+        elif kind == "journal":
+            journal_loaded += int(record.get("loaded", 0))
     return {
         "records": sum(by_kind.values()),
         "by_kind": by_kind,
@@ -184,4 +204,9 @@ def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         "sweep_errors": sweep_errors,
         "sweep_wall_s": sweep_wall,
         "sweep_max_workers": sweep_workers,
+        "sweep_retries": sweep_retries,
+        "sweep_restarts": sweep_restarts,
+        "sweep_timeouts": sweep_timeouts,
+        "sweep_quarantines": sweep_quarantines,
+        "journal_loaded": journal_loaded,
     }

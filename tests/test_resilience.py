@@ -1,0 +1,435 @@
+"""Resilient sweep execution, end to end under injected faults.
+
+Every fault class the injector knows (worker kill, hang, transient
+exception, cache corruption) is driven through the real runner / disk
+cache / sweep stack, and the recovery contract is asserted each time:
+the sweep completes, every point is accounted for exactly once, results
+are bit-identical to a clean run, and the failure shows up in telemetry
+rather than vanishing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+
+import pytest
+
+from repro import faults
+from repro.cli import main
+from repro.core import runner as runner_mod
+from repro.core.checkpoint import SweepJournal
+from repro.core.diskcache import DiskCache
+from repro.core import diskcache as diskcache_mod
+from repro.core.experiment import clear_cache, run_point
+from repro.core.runner import ParallelRunner, PointError, default_jobs
+from repro.core.sweep import Sweep
+from repro.obs.telemetry import close_sinks, read_records
+from repro.report.export import result_fingerprint
+
+FAST = dict(events=200, warmup=100, scale=16, n_cores=2)
+EIGHT = [(w, k) for w in ("zeus", "jbb")
+         for k in ("base", "pref", "compr", "pref_compr")]
+
+
+def _points(pairs):
+    return [((w, k), dict(FAST, use_cache=False)) for w, k in pairs]
+
+
+def _expected(pairs):
+    return [
+        result_fingerprint(run_point(w, k, **FAST, use_cache=False))
+        for w, k in pairs
+    ]
+
+
+def _sweep():
+    return (Sweep()
+            .dimension("workload", ["zeus", "jbb"])
+            .dimension("key", ["base", "pref"]))
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    for var in ("REPRO_FAULTS", "REPRO_RETRIES", "REPRO_POINT_TIMEOUT",
+                "REPRO_TELEMETRY", "REPRO_JOBS"):
+        monkeypatch.delenv(var, raising=False)
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.01")
+    faults.reset()
+    yield
+    faults.reset()
+    close_sinks()
+
+
+class TestTransientRetry:
+    def test_retried_and_healed_serial(self, monkeypatch, tmp_path):
+        tele = str(tmp_path / "t.jsonl")
+        monkeypatch.setenv("REPRO_TELEMETRY", tele)
+        monkeypatch.setenv("REPRO_FAULTS", "transient@1")
+        pairs = [("zeus", "base"), ("zeus", "pref"), ("zeus", "compr")]
+        outcomes = ParallelRunner(jobs=1).run_points(_points(pairs))
+        assert not any(isinstance(o, PointError) for o in outcomes)
+        assert [result_fingerprint(o) for o in outcomes] == _expected(pairs)
+        records = read_records(tele)
+        retries = [r for r in records if r["kind"] == "retry"]
+        assert len(retries) == 1
+        assert retries[0]["index"] == 1 and retries[0]["fault"] == "transient"
+        sweep_record = [r for r in records if r["kind"] == "sweep"][-1]
+        assert sweep_record["retries"] == 1 and sweep_record["errors"] == 0
+
+    def test_exhaustion_keeps_attempt_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "transient@0x99")
+        monkeypatch.setenv("REPRO_RETRIES", "2")
+        outcomes = ParallelRunner(jobs=1).run_points(
+            _points([("zeus", "base"), ("zeus", "pref")])
+        )
+        failed = outcomes[0]
+        assert isinstance(failed, PointError)
+        assert failed.kind == "transient"
+        assert failed.attempts == 3  # first try + REPRO_RETRIES retries
+        assert "injected transient fault" in failed.error
+        assert not isinstance(outcomes[1], PointError)
+
+    def test_retries_zero_fails_first_try(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "transient@0x99")
+        monkeypatch.setenv("REPRO_RETRIES", "0")
+        outcomes = ParallelRunner(jobs=1).run_points(_points([("zeus", "base")]))
+        assert isinstance(outcomes[0], PointError)
+        assert outcomes[0].attempts == 1
+
+    def test_deterministic_exception_not_retried(self, monkeypatch, tmp_path):
+        tele = str(tmp_path / "t.jsonl")
+        monkeypatch.setenv("REPRO_TELEMETRY", tele)
+        points = [(("zeus", "no_such_config"), dict(FAST, use_cache=False))]
+        outcomes = ParallelRunner(jobs=1).run_points(points)
+        assert isinstance(outcomes[0], PointError)
+        assert outcomes[0].kind == "error"
+        assert outcomes[0].attempts == 1  # same input fails the same way
+        assert not [r for r in read_records(tele) if r["kind"] == "retry"]
+
+
+class TestLostWorkers:
+    def test_kill_mid_submission_every_point_once(self, monkeypatch, tmp_path):
+        """Satellite: a worker killed mid-sweep breaks the pool; the pool
+        respawns, the point retries, and all 8 points land exactly once."""
+        tele = str(tmp_path / "t.jsonl")
+        monkeypatch.setenv("REPRO_TELEMETRY", tele)
+        monkeypatch.setenv("REPRO_FAULTS", "kill@2")
+        finalized = []
+        outcomes = ParallelRunner(jobs=2).run_points(
+            _points(EIGHT), on_outcome=lambda i, o: finalized.append(i)
+        )
+        assert len(outcomes) == len(EIGHT)
+        assert not any(isinstance(o, PointError) for o in outcomes)
+        assert sorted(finalized) == list(range(len(EIGHT)))  # once each, no dupes
+        assert [result_fingerprint(o) for o in outcomes] == _expected(EIGHT)
+        records = read_records(tele)
+        sweep_record = [r for r in records if r["kind"] == "sweep"][-1]
+        assert sweep_record["restarts"] >= 1
+        assert sweep_record["retries"] >= 1
+        assert sweep_record["errors"] == 0
+        assert [r for r in records if r["kind"] == "pool-restart"]
+
+    def test_exhaustion_reports_lost_worker(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "kill@*x99")
+        monkeypatch.setenv("REPRO_RETRIES", "1")
+        outcomes = ParallelRunner(jobs=2).run_points(
+            _points([("zeus", "base"), ("zeus", "pref")])
+        )
+        for outcome in outcomes:
+            assert isinstance(outcome, PointError)
+            assert outcome.kind == "lost-worker"
+            assert outcome.attempts == 2
+            assert "worker process terminated abruptly" in outcome.traceback
+
+
+class TestTimeouts:
+    def test_hung_point_times_out_others_complete(self, monkeypatch, tmp_path):
+        tele = str(tmp_path / "t.jsonl")
+        monkeypatch.setenv("REPRO_TELEMETRY", tele)
+        monkeypatch.setenv("REPRO_FAULTS", "hang(60)@0")
+        monkeypatch.setenv("REPRO_POINT_TIMEOUT", "1")
+        pairs = [("zeus", "base"), ("zeus", "pref"), ("zeus", "compr")]
+        started = time.monotonic()
+        outcomes = ParallelRunner(jobs=2).run_points(_points(pairs))
+        elapsed = time.monotonic() - started
+        assert elapsed < 30  # nothing waited for the 60 s hang
+        hung = outcomes[0]
+        assert isinstance(hung, PointError)
+        assert hung.kind == "timeout"
+        assert hung.attempts == 1  # a deterministic hang would just recur
+        healthy = [result_fingerprint(o) for o in outcomes[1:]]
+        assert healthy == _expected(pairs[1:])
+        records = read_records(tele)
+        assert [r for r in records if r["kind"] == "point-timeout"]
+        sweep_record = [r for r in records if r["kind"] == "sweep"][-1]
+        assert sweep_record["timeouts"] == 1 and sweep_record["errors"] == 1
+
+
+class TestSelfHealingCache:
+    def test_injected_corruption_quarantined_then_healed(
+        self, monkeypatch, tmp_path
+    ):
+        tele = str(tmp_path / "t.jsonl")
+        monkeypatch.setenv("REPRO_TELEMETRY", tele)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_FAULTS", "corrupt@0")
+        clear_cache()
+        first = run_point("zeus", "base", **FAST)   # stored with a bad checksum
+        clear_cache()
+        second = run_point("zeus", "base", **FAST)  # corrupt -> quarantine -> resim
+        clear_cache()
+        third = run_point("zeus", "base", **FAST)   # clean hit
+        assert (result_fingerprint(first)
+                == result_fingerprint(second)
+                == result_fingerprint(third))
+        store = DiskCache()
+        stats = store.stats()
+        assert stats["entries"] == 1 and stats["quarantined"] == 1
+        outcomes = [r["outcome"] for r in read_records(tele)
+                    if r["kind"] == "diskcache"]
+        assert outcomes == ["miss", "store", "corrupt", "store", "hit"]
+
+    def test_get_outcome_regression(self, monkeypatch, tmp_path):
+        """Satellite: pin the three DiskCache.get telemetry outcomes."""
+        tele = str(tmp_path / "t.jsonl")
+        result = run_point("zeus", "base", **FAST, use_cache=False)
+        monkeypatch.setenv("REPRO_TELEMETRY", tele)
+        store = DiskCache(str(tmp_path / "cache"))
+        key = "ab" + "0" * 62
+        assert store.get(key) is None               # miss
+        store.put(key, result)                      # store
+        cached = store.get(key)                     # hit
+        assert cached is not None
+        assert result_fingerprint(cached) == result_fingerprint(result)
+        path = store.path_for(key)
+        with open(path, "r", encoding="utf-8") as fh:
+            entry = json.load(fh)
+        entry["checksum"] = "0" * 64  # silent bit rot: valid JSON, bad sum
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh)
+        assert store.get(key) is None               # corrupt, not miss
+        assert not os.path.exists(path)             # moved aside ...
+        assert os.path.exists(
+            os.path.join(store.quarantine_dir(), os.path.basename(path))
+        )                                           # ... into quarantine
+        outcomes = [r["outcome"] for r in read_records(tele)
+                    if r["kind"] == "diskcache"]
+        assert outcomes == ["miss", "store", "hit", "corrupt"]
+
+    def test_put_failure_emits_and_cleans_tmp(self, monkeypatch, tmp_path):
+        """Satellite: a serialization failure in put must not raise, must
+        not leave ``*.json.tmp.*`` litter, and must be telemetry-visible."""
+        tele = str(tmp_path / "t.jsonl")
+        result = run_point("zeus", "base", **FAST, use_cache=False)
+        monkeypatch.setenv("REPRO_TELEMETRY", tele)
+        store = DiskCache(str(tmp_path / "cache"))
+        monkeypatch.setattr(
+            diskcache_mod, "result_to_full_dict", lambda r: {"bad": object()}
+        )
+        store.put("cd" + "0" * 62, result)  # TypeError inside, swallowed
+        leftovers = [
+            name
+            for _dir, _subdirs, files in os.walk(store.root)
+            for name in files
+        ]
+        assert leftovers == []
+        records = [r for r in read_records(tele) if r["kind"] == "diskcache"]
+        assert records[-1]["outcome"] == "store-failed"
+        assert "TypeError" in records[-1]["error"]
+
+    def test_verify_quarantines_and_sweeps_tmp(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        clear_cache()
+        run_point("zeus", "base", **FAST)
+        run_point("zeus", "pref", **FAST)
+        store = DiskCache()
+        paths = sorted(
+            os.path.join(d, f)
+            for d, _s, files in os.walk(store.root)
+            for f in files
+        )
+        assert len(paths) == 2
+        with open(paths[0], "w", encoding="utf-8") as fh:
+            fh.write("torn{write")
+        stale = paths[1] + ".tmp.12345"
+        with open(stale, "w", encoding="utf-8") as fh:
+            fh.write("{}")
+        report = store.verify()
+        assert report == {"checked": 2, "ok": 1, "corrupt": 1, "tmp_swept": 1}
+        assert not os.path.exists(stale)
+        assert store.verify() == {"checked": 1, "ok": 1, "corrupt": 0,
+                                  "tmp_swept": 0}
+
+
+class TestProgressIsolation:
+    def test_progress_exception_warns_once(self, monkeypatch):
+        """Satellite: a broken user callback downgrades to one warning."""
+        monkeypatch.setattr(runner_mod, "_WARNED_PROGRESS", False)
+        calls = []
+
+        def broken_progress(done, total):
+            calls.append(done)
+            raise ValueError("renderer bug")
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            outcomes = ParallelRunner(jobs=1).run_points(
+                _points([("zeus", "base"), ("zeus", "pref")]),
+                progress=broken_progress,
+            )
+        assert not any(isinstance(o, PointError) for o in outcomes)
+        assert calls == [1, 2]  # still driven after the first failure
+        relevant = [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)
+                    and "progress callback" in str(w.message)]
+        assert len(relevant) == 1
+
+
+class TestKillAndResume:
+    def test_interrupt_then_resume_is_bit_identical(self, monkeypatch, tmp_path):
+        """The acceptance centerpiece: kill a journaled sweep partway,
+        resume it, and get clean-run fingerprints while re-simulating
+        only the missing points."""
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        clear_cache()
+        clean = _sweep().run(jobs=1, **FAST, use_cache=False)
+        expected = {k: result_fingerprint(v) for k, v in clean.points.items()}
+        assert len(expected) == 4
+
+        path = str(tmp_path / "journal.jsonl")
+        seen = {"n": 0}
+
+        def interrupt_after_two(done, total):
+            seen["n"] += 1
+            if seen["n"] == 2:
+                raise KeyboardInterrupt
+
+        clear_cache()
+        journal = SweepJournal(path, resume=False)
+        with pytest.raises(KeyboardInterrupt):
+            _sweep().run(jobs=1, progress=interrupt_after_two, journal=journal,
+                         **FAST, use_cache=False)
+        journal.close()
+
+        resumed = SweepJournal(path, resume=True)
+        assert resumed.completed_count() == 2
+        tele = str(tmp_path / "resume.jsonl")
+        monkeypatch.setenv("REPRO_TELEMETRY", tele)
+        clear_cache()
+        final = _sweep().run(jobs=1, journal=resumed, **FAST, use_cache=False)
+        resumed.close()
+        assert {k: result_fingerprint(v) for k, v in final.points.items()} == expected
+        simulated = [r for r in read_records(tele) if r["kind"] == "point"]
+        assert len(simulated) == 2  # exactly the points the journal lacked
+
+    def test_parallel_journal_resume_resimulates_nothing(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        path = str(tmp_path / "journal.jsonl")
+        clear_cache()
+        journal = SweepJournal(path, resume=False)
+        first = _sweep().run(jobs=2, journal=journal, **FAST, use_cache=False)
+        journal.close()
+        assert len(first.points) == 4 and not first.errors
+        expected = {k: result_fingerprint(v) for k, v in first.points.items()}
+
+        resumed = SweepJournal(path, resume=True)
+        assert resumed.completed_count() == 4
+        tele = str(tmp_path / "resume.jsonl")
+        monkeypatch.setenv("REPRO_TELEMETRY", tele)
+        clear_cache()
+        second = _sweep().run(jobs=2, journal=resumed, **FAST, use_cache=False)
+        resumed.close()
+        assert {k: result_fingerprint(v) for k, v in second.points.items()} == expected
+        simulated = ([r for r in read_records(tele) if r["kind"] == "point"]
+                     if os.path.exists(tele) else [])
+        assert simulated == []  # full resume: zero re-simulation
+
+    def test_journaled_error_point_is_retried_on_resume(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        path = str(tmp_path / "journal.jsonl")
+        monkeypatch.setenv("REPRO_FAULTS", "transient@0x99")
+        monkeypatch.setenv("REPRO_RETRIES", "0")
+        clear_cache()
+        journal = SweepJournal(path, resume=False)
+        sweep = (Sweep().dimension("workload", ["zeus", "jbb"])
+                 .dimension("key", ["base"]))
+        partial = sweep.run(jobs=2, journal=journal, **FAST, use_cache=False)
+        journal.close()
+        assert len(partial.errors) == 1 and len(partial.points) == 1
+
+        monkeypatch.delenv("REPRO_FAULTS")
+        faults.reset()
+        resumed = SweepJournal(path, resume=True)
+        assert resumed.completed_count() == 1  # the error record is not "done"
+        clear_cache()
+        sweep2 = (Sweep().dimension("workload", ["zeus", "jbb"])
+                  .dimension("key", ["base"]))
+        final = sweep2.run(jobs=2, journal=resumed, **FAST, use_cache=False)
+        resumed.close()
+        assert len(final.points) == 2 and not final.errors
+
+
+class TestCLIResilience:
+    def test_repro_jobs_non_integer_is_readable_exit_2(self, monkeypatch, capsys):
+        """Satellite: ``REPRO_JOBS=max`` gets one readable line, not a
+        traceback."""
+        monkeypatch.setenv("REPRO_JOBS", "max")
+        with pytest.raises(ValueError) as exc:
+            default_jobs()
+        assert "REPRO_JOBS" in str(exc.value) and "'max'" in str(exc.value)
+        rc = main(["sweep", "--workloads", "zeus", "--configs", "base,pref",
+                   "--jobs", "0", "--quiet", "--no-journal"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "error: REPRO_JOBS must be an integer >= 1, got 'max'" in captured.err
+
+    def test_cache_verify_exit_codes(self, monkeypatch, capsys, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        clear_cache()
+        run_point("zeus", "base", **FAST)
+        assert main(["cache", "verify"]) == 0
+        store = DiskCache()
+        (path,) = [
+            os.path.join(d, f)
+            for d, _s, files in os.walk(store.root)
+            for f in files
+        ]
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("rot")
+        capsys.readouterr()
+        assert main(["cache", "verify"]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt:    1" in out
+        assert main(["cache", "verify"]) == 0  # quarantined, now clean
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert "quarantined:" in capsys.readouterr().out
+
+    def test_sweep_resume_round_trip_identical_stdout(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_SWEEP_DIR", str(tmp_path / "sweeps"))
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        argv = ["sweep", "--workloads", "zeus", "--configs", "base,pref",
+                "--events", "200", "--warmup", "100", "--scale", "16",
+                "--cores", "2", "--jobs", "1", "--quiet"]
+        clear_cache()
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        tele = str(tmp_path / "resume.jsonl")
+        monkeypatch.setenv("REPRO_TELEMETRY", tele)
+        clear_cache()
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "resuming: 2 completed point(s) loaded" in second.err
+        simulated = ([r for r in read_records(tele) if r["kind"] == "point"]
+                     if os.path.exists(tele) else [])
+        assert simulated == []
