@@ -1,103 +1,93 @@
-"""Simulator throughput benchmark -> ``BENCH_throughput.json``.
+"""Throughput regression gate for the dual-engine simulator.
 
-Measures end-to-end simulation throughput (trace events per wall-clock
-second) on two representative points — an uncompressed baseline system
-and the full prefetch+compression configuration — and records the
-numbers, machine-readably, at the repository root.
-
-Methodology note: wall-clock speed on shared containers drifts by up to
-~2x between sessions, so an events/sec number is only comparable to a
-*baseline measured in the same session*.  The committed JSON carries
-``baseline_events_per_sec`` values captured by alternating best-of-6
-A/B runs against the pre-optimization tree in one session; this bench
-preserves those baseline fields (and their recorded speedups) when it
-rewrites the file, updating only the current-tree measurements.  To
-re-derive a trustworthy speedup after the machine changes, re-measure
-both sides together (check out the old tree elsewhere and alternate).
+The floor is derived from the committed benchmark artifact
+(``BENCH_throughput.json``, regenerated with ``repro bench``) rather
+than hard-coded.  Absolute events/sec swings ~2x across machines, so
+the primary gate is the fast-vs-reference speedup *ratio* measured
+in-session (engines alternate back-to-back, best-of-N — the same
+methodology as ``repro bench``) against the committed ratio with
+generous slack.  A secondary absolute floor, also scaled down from the
+artifact, catches a simulator that got catastrophically slower on both
+engines at once (which the ratio alone would miss).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
-import os
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.core.experiment import make_config
-from repro.core.runner import default_jobs
 from repro.core.system import CMPSystem
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-OUTPUT = REPO_ROOT / "BENCH_throughput.json"
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
 
-#: (workload, config key) points measured; one plain, one fully loaded.
-POINTS = (("zeus", "base"), ("zeus", "pref_compr"), ("oltp", "pref_compr"))
+# Slack on the committed fast/ref ratio: CI machines are noisy, shared
+# and throttled, but an in-session ratio cancels most machine effects,
+# so a halved ratio means the fast kernel genuinely regressed.
+RATIO_SLACK = 0.55
+# Slack on absolute events/sec: machines legitimately differ ~2x, so
+# only flag a further ~2x drop on top of that.
+ABS_SLACK = 0.25
 
-EVENTS = 6_000
-WARMUP = 10_000
-N_CORES = 8
-SCALE = 4
-REPS = 3  # best-of, to shed scheduler noise
+GATE_POINT = "zeus/base"
+REPS = 2
 
 
-def _measure(workload: str, key: str) -> dict:
-    """Best-of-REPS events/sec for one simulation point."""
-    best_eps = 0.0
-    best_wall = float("inf")
-    total_events = (EVENTS + WARMUP) * N_CORES
+def _artifact() -> dict:
+    with ARTIFACT.open() as fh:
+        return json.load(fh)
+
+
+def test_artifact_is_complete():
+    art = _artifact()
+    assert art["points"], "committed artifact has no benchmark points"
+    for point, entry in art["points"].items():
+        assert entry["ref_events_per_sec"] > 0, point
+        assert entry["fast_events_per_sec"] > 0, point
+        assert entry["speedup_fast_vs_ref"] > 0, point
+    assert GATE_POINT in art["points"]
+
+
+def test_throughput_floor_from_artifact(monkeypatch):
+    # An ambient REPRO_ENGINE would collapse the A/B into an A/A.
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    art = _artifact()
+    committed = art["points"][GATE_POINT]
+    events, warmup = art["events_per_core"], art["warmup_per_core"]
+    cores, scale = art["n_cores"], art["scale"]
+    workload, key = GATE_POINT.split("/")
+
+    best = {"ref": 0.0, "fast": 0.0}
     for _ in range(REPS):
-        system = CMPSystem(
-            make_config(key, n_cores=N_CORES, scale=SCALE), workload, seed=0
+        for engine in ("ref", "fast"):
+            cfg = dataclasses.replace(
+                make_config(key, n_cores=cores, scale=scale), engine=engine
+            )
+            system = CMPSystem(cfg, workload, seed=art["seed"])
+            t0 = time.perf_counter()
+            system.run(events, warmup_events=warmup)
+            wall = time.perf_counter() - t0
+            best[engine] = max(best[engine], (events + warmup) * cores / wall)
+
+    ratio_floor = committed["speedup_fast_vs_ref"] * RATIO_SLACK
+    measured_ratio = best["fast"] / best["ref"]
+    assert measured_ratio >= ratio_floor, (
+        f"fast-engine speedup regressed: measured {measured_ratio:.2f}x vs "
+        f"floor {ratio_floor:.2f}x (committed {committed['speedup_fast_vs_ref']:.2f}x "
+        f"* slack {RATIO_SLACK}); ref={best['ref']:.0f} fast={best['fast']:.0f} ev/s"
+    )
+    for engine in ("ref", "fast"):
+        abs_floor = committed[f"{engine}_events_per_sec"] * ABS_SLACK
+        assert best[engine] >= abs_floor, (
+            f"{engine} engine throughput collapsed: {best[engine]:.0f} ev/s vs "
+            f"floor {abs_floor:.0f} (committed "
+            f"{committed[f'{engine}_events_per_sec']:.0f} * slack {ABS_SLACK})"
         )
-        start = time.perf_counter()
-        system.run(EVENTS, warmup_events=WARMUP)
-        wall = time.perf_counter() - start
-        if total_events / wall > best_eps:
-            best_eps = total_events / wall
-            best_wall = wall
-    return {
-        "events_per_sec": round(best_eps, 1),
-        "wall_seconds": round(best_wall, 4),
-        "events": total_events,
-    }
 
 
-def test_throughput_benchmark():
-    previous = {}
-    if OUTPUT.exists():
-        try:
-            previous = json.loads(OUTPUT.read_text())
-        except ValueError:
-            previous = {}
-    prev_points = previous.get("workloads", {})
-
-    workloads = {}
-    for workload, key in POINTS:
-        name = f"{workload}/{key}"
-        entry = _measure(workload, key)
-        assert entry["events_per_sec"] > 0
-        # Keep the same-session A/B baseline fields from the committed file.
-        old = prev_points.get(name, {})
-        for carried in ("baseline_events_per_sec", "speedup_vs_baseline"):
-            if carried in old:
-                entry[carried] = old[carried]
-        workloads[name] = entry
-
-    payload = {
-        "methodology": (
-            "events/sec = total trace events (warmup + measured, all cores) "
-            "/ wall seconds, best of "
-            f"{REPS}; baseline_* fields were measured by alternating best-of-6 "
-            "A/B runs against the pre-optimization tree in a single session "
-            "(wall-clock drift between sessions makes cross-session ratios "
-            "meaningless)"
-        ),
-        "events_per_core": EVENTS,
-        "warmup_per_core": WARMUP,
-        "n_cores": N_CORES,
-        "scale": SCALE,
-        "jobs": int(os.environ.get("REPRO_JOBS", "0")) or default_jobs(),
-        "workloads": workloads,
-    }
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
-    assert OUTPUT.exists()
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

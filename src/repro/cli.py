@@ -17,6 +17,7 @@
     python -m repro trace zeus pref_compr -o trace.json
     python -m repro metrics zeus adaptive_compr --interval 2000
     python -m repro profile zeus --engine sampler
+    python -m repro bench --quick
 
 Output defaults to an aligned table; ``--json`` / ``--csv`` switch the
 format for piping into other tools.
@@ -544,6 +545,99 @@ def cmd_fuzz(args) -> int:
     return 1 if report.failures else 0
 
 
+_BENCH_POINTS = (("zeus", "base"), ("zeus", "pref_compr"), ("oltp", "pref_compr"))
+
+
+def cmd_bench(args) -> int:
+    """A/B throughput benchmark of the reference vs fast engine.
+
+    Engines alternate back-to-back within each repetition so machine
+    drift (thermal, scheduler) hits both equally; per (point, engine)
+    the best of ``--reps`` runs is kept.  Absolute events/sec is
+    machine-dependent; the speedup ratio is the comparable quantity.
+    """
+    import dataclasses
+    import json
+    import os
+    import time
+
+    engines = ("ref", "fast") if args.engine == "both" else (args.engine,)
+    if args.quick:
+        events, warmup, reps = 1_500, 1_500, 1
+    else:
+        events, warmup, reps = args.events, args.warmup, args.reps
+
+    def measure(workload: str, key: str, engine: str) -> float:
+        cfg = dataclasses.replace(
+            make_config(key, n_cores=args.cores, scale=args.scale), engine=engine
+        )
+        system = CMPSystem(cfg, workload, seed=args.seed)
+        t0 = time.perf_counter()
+        system.run(events, warmup_events=warmup)
+        wall = time.perf_counter() - t0
+        return (events + warmup) * args.cores / wall
+
+    best = {(wl, key, eng): 0.0 for wl, key in _BENCH_POINTS for eng in engines}
+    # An ambient REPRO_ENGINE would silently force every run onto one
+    # engine and turn the A/B comparison into A/A; suspend it.
+    saved_env = os.environ.pop("REPRO_ENGINE", None)
+    try:
+        for _ in range(reps):
+            for wl, key in _BENCH_POINTS:
+                for eng in engines:
+                    eps = measure(wl, key, eng)
+                    if eps > best[(wl, key, eng)]:
+                        best[(wl, key, eng)] = eps
+    finally:
+        if saved_env is not None:
+            os.environ["REPRO_ENGINE"] = saved_env
+
+    points = {}
+    table = Table(
+        ["point", "ref ev/s", "fast ev/s", "speedup"], float_format="{:.2f}"
+    )
+    for wl, key in _BENCH_POINTS:
+        ref = best.get((wl, key, "ref"), 0.0)
+        fast = best.get((wl, key, "fast"), 0.0)
+        entry = {}
+        if "ref" in engines:
+            entry["ref_events_per_sec"] = round(ref, 1)
+        if "fast" in engines:
+            entry["fast_events_per_sec"] = round(fast, 1)
+        if ref and fast:
+            entry["speedup_fast_vs_ref"] = round(fast / ref, 3)
+        points[f"{wl}/{key}"] = entry
+        table.add_row(
+            [f"{wl}/{key}", round(ref, 1), round(fast, 1),
+             fast / ref if ref and fast else 0.0]
+        )
+    payload = {
+        "methodology": (
+            "best-of-N wall clock per (point, engine); engines alternate "
+            "back-to-back within each repetition; events/sec counts warmup "
+            "+ measured events across all cores.  Absolute numbers are "
+            "machine-dependent — compare the speedup ratios, not ev/s, "
+            "across sessions."
+        ),
+        "command": "repro bench" + (" --quick" if args.quick else ""),
+        "events_per_core": events,
+        "warmup_per_core": warmup,
+        "n_cores": args.cores,
+        "scale": args.scale,
+        "reps": reps,
+        "seed": args.seed,
+        "engines": list(engines),
+        "points": points,
+    }
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    print(table.render())
+    return 0
+
+
 def cmd_schemes(args) -> int:
     from repro.compression.schemes import compare_schemes
     from repro.workloads.registry import get_spec
@@ -694,6 +788,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replay a saved crash file instead of fuzzing")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("bench", help="A/B throughput benchmark: reference vs fast engine")
+    p.add_argument("--engine", choices=("ref", "fast", "both"), default="both")
+    p.add_argument("--events", type=int, default=6_000, help="measured events per core")
+    p.add_argument("--warmup", type=int, default=10_000, help="warmup events per core")
+    p.add_argument("--reps", type=int, default=3, help="best-of-N repetitions")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=int, default=4)
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: one repetition of 1500+1500 events")
+    p.add_argument("-o", "--output", default="BENCH_throughput.json",
+                   help="JSON artifact path (empty = don't write)")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -130,6 +130,43 @@ def compressed_size_bytes(words: Sequence[int]) -> int:
     return (compressed_size_bits(words) + 7) // 8
 
 
+def sizes_for(lines: Sequence[Sequence[int]]) -> List[int]:
+    """Batched :func:`compressed_size_bytes` over many lines.
+
+    Bit-identical to mapping ``compressed_size_bytes`` over ``lines``
+    (the property suite asserts this), but classifies each distinct
+    non-zero word value once across the whole batch.  Value pools repeat
+    words heavily (zero runs, sign-extended constants, repeated bytes),
+    so sizing a whole :class:`~repro.workloads.values.ValueModel` pool in
+    one call replaces most classifications with one dict lookup.
+    """
+    payload_cache: dict = {}
+    cache_get = payload_cache.get
+    sizes: List[int] = []
+    for words in lines:
+        if len(words) != WORDS_PER_LINE:
+            raise ValueError(f"expected {WORDS_PER_LINE} words, got {len(words)}")
+        bits = 0
+        i = 0
+        while i < WORDS_PER_LINE:
+            word = words[i]
+            if word == 0:
+                run = 1
+                while run < 7 and i + run < WORDS_PER_LINE and words[i + run] == 0:
+                    run += 1
+                bits += PREFIX_BITS + 3  # one zero-run record
+                i += run
+            else:
+                payload = cache_get(word)
+                if payload is None:
+                    payload = classify_word(word)[1]
+                    payload_cache[word] = payload
+                bits += PREFIX_BITS + payload
+                i += 1
+        sizes.append((bits + 7) // 8)
+    return sizes
+
+
 def decompress_check(words: Sequence[int]) -> bool:
     """Verify the encoding is invertible: re-expand the records and check
     that word classes and zero runs reconstruct the original word count

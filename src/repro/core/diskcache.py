@@ -89,11 +89,15 @@ def point_key(
     the hashed config: they never change simulation results — the audit
     and obs test suites prove bit-identical fingerprints — so toggling
     them must not split the cache into parallel universes of identical
-    results.
+    results.  The ``engine`` selector is stripped for the same reason:
+    the fast kernel is bit-identical to the reference by contract
+    (golden-snapshot, oracle and fuzz equivalence suites), so a cached
+    result is valid under either engine.
     """
     cfg = asdict(config)
     for observability_field in (
-        "audit", "audit_interval", "trace", "metrics", "metrics_interval"
+        "audit", "audit_interval", "trace", "metrics", "metrics_interval",
+        "engine",
     ):
         cfg.pop(observability_field, None)
     payload = {

@@ -1,0 +1,1620 @@
+"""The array-backed fast simulation kernel (``SystemConfig.engine="fast"``).
+
+This module is a *second engine* for :class:`repro.core.system.CMPSystem`:
+a transcription of the reference access path (:mod:`repro.core.hierarchy`
+driven by ``CMPSystem._run_events``) that trades the object-per-line
+``TagEntry``/``dict`` design for flat parallel lists indexed by
+``(set, way)`` slot, and the per-event generator resumption for chunked
+workload generation (:meth:`repro.workloads.base.TraceGenerator.fill_chunk`).
+
+The contract is **bit-identity**: for any (config, workload/trace, seed),
+the fast engine reproduces the reference engine's ``result_fingerprint``
+exactly.  That is only possible because the transcription preserves
+
+* the event interleave (the same ``heapq`` of per-core clocks),
+* every float expression shape and accumulation order (latency sums,
+  queue cycles, histogram totals),
+* every RNG call sequence (chunked generation draws the same stream), and
+* every policy-object event sequence (prefetcher training, adaptive
+  throttle bumps, compression-policy bumps, taxonomy counts).
+
+**State lifecycle.**  At the start of each ``run_events`` call the flat
+arrays are rebuilt from the live cache objects; at the end (and before
+every auditor check) the flat state is written back, so the object
+hierarchy is always authoritative *between* runs — ``reset_stats``, the
+oracle's state comparison, auditing and result collection all read the
+objects they always read.  Policy and shared-resource objects with small
+per-event cost (prefetchers, adaptive throttles, taxonomy, compression
+policy and stats, stream buffers, DRAM, NoC) stay live and are called
+directly; the caches, the per-level counters/histograms and the pin-link
+accounting are flattened.
+
+**Hot-path layout.**  The demand-miss path — the dominant per-event cost
+— is *fused and specialized*: ``l1_miss_i`` / ``l1_miss_d`` inline the
+whole ``_l1_miss`` -> ``_l2_access`` -> ``_fetch_line`` -> ``_fill_l2``
+-> eviction-handling chain with ``demand=True`` / ``prefetch=False``
+constant-folded, so one L1 miss costs one closure call instead of eight.
+The *general* closures (``l2_access``, ``fill_l2``, ...) serve the
+prefetch-issue and stream-buffer paths; when editing one copy of the
+shared logic, edit both (the engine-equivalence suite will catch a
+divergence, but only after the fact).
+
+**New features land in the reference engine first.**  This file is a
+mirror, not a place to change behaviour: any semantic change starts in
+:mod:`repro.core.hierarchy`, gets locked by the oracle/golden/fuzz
+suites, and is then transcribed here and re-proven by the
+engine-equivalence suite (see docs/architecture.md §11).
+
+``run_events`` refuses to run (returns ``False``, falling back to the
+reference loop) when the hierarchy's methods are wrapped by anything
+other than the differential-verification tap (:class:`repro.verify.tap.
+OpTap`); the tap itself is supported natively by appending the same
+records it would have recorded.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from repro.cache.line import MSIState
+from repro.core.hierarchy import _BANK_OCCUPANCY, _INTERVENTION_COST, _SAMPLE_EVERY
+from repro.interconnect.link import PinLink
+from repro.params import SEGMENTS_PER_LINE
+
+#: Events drawn per ``fill_chunk`` refill; large enough to amortise the
+#: generator's local binding, small enough to keep chunk lists cache-hot.
+_CHUNK = 8192
+
+_TAP_WRAPPED = ("access", "_issue_l1_prefetch", "_issue_l2_prefetch", "reset_stats")
+
+
+class ChunkCursor:
+    """Per-core chunked event source shared by both engines.
+
+    Owns a :class:`~repro.workloads.base.TraceGenerator` and three
+    parallel event lists.  The fast kernel consumes the lists directly;
+    the reference loop (used when the fast kernel declines a run)
+    consumes the *same* cursor through :meth:`events`, so the generator's
+    RNG is drawn exactly once no matter which engine executes.
+    """
+
+    __slots__ = ("gen", "gaps", "kinds", "addrs", "pos")
+
+    def __init__(self, gen) -> None:
+        self.gen = gen
+        self.gaps: List[int] = []
+        self.kinds: List[int] = []
+        self.addrs: List[int] = []
+        self.pos = 0
+
+    def refill(self) -> None:
+        self.gaps.clear()
+        self.kinds.clear()
+        self.addrs.clear()
+        self.pos = 0
+        self.gen.fill_chunk(self.gaps, self.kinds, self.addrs, _CHUNK)
+
+    def events(self):
+        """Iterator adapter for the reference loop's ``next_event`` slot."""
+        while True:
+            i = self.pos
+            if i >= len(self.gaps):
+                self.refill()
+                i = 0
+            self.pos = i + 1
+            yield (self.gaps[i], self.kinds[i], self.addrs[i])
+
+
+def run_events(system, events_per_core: int) -> bool:
+    """Run ``events_per_core`` events per core with the flat-array kernel.
+
+    Returns ``True`` when the run was executed, ``False`` when this
+    kernel cannot honour the hierarchy's current instrumentation (an
+    unknown method wrapper) and the caller must use the reference loop.
+    """
+    h = system.hierarchy
+    hdict = h.__dict__
+    wrapped = [name for name in _TAP_WRAPPED if name in hdict]
+    tap_ops = hdict.get("_tap_ops")
+    if wrapped and (len(wrapped) != len(_TAP_WRAPPED) or tap_ops is None):
+        return False  # unknown wrapper: only the reference loop is safe
+    TAP = tap_ops is not None
+    ops_append = tap_ops.append if TAP else None
+
+    config = h.config
+    n = config.n_cores
+
+    # ---- hot-path constants (mirroring MemoryHierarchy's hoisted scalars)
+    SHARED = MSIState.SHARED
+    MODIFIED = MSIState.MODIFIED
+    SEGS8 = SEGMENTS_PER_LINE
+    L1I_LAT = h._l1i_lat
+    L1D_LAT = h._l1d_lat
+    L2_HIT_LAT = h._l2_hit_lat  # float; some paths use the raw int below
+    L2_HIT_INT = config.l2.hit_latency
+    L2_UNCOMP_ASSOC = config.l2.uncompressed_assoc
+    DECOMP = h._decompression_cycles
+    NBANKS = h._n_banks
+    PF_ON = h._pf_on
+    NOC_ON = h._noc_on
+    ADAPTIVE = h._adaptive
+    VICTIM_DEPTH = h.l1i[0].victim_depth
+    L2_COMPRESSED = h.l2.compressed
+    L2_NSETS = h.l2.n_sets
+    TOTAL_SEGS = h.l2.total_segments
+    I_NSETS = h.l1i[0].n_sets
+    D_NSETS = h.l1d[0].n_sets
+    STRIDE = config.prefetch.kind == "stride"
+
+    # ---- live policy / shared-resource objects
+    PFI = h.pf_l1i
+    PFD = h.pf_l1d
+    PF2 = h.pf_l2
+    pf2_stats = h.pf_stats["l2"]
+    l2ad = h.l2_adaptive
+    tax = h.taxonomy
+    cstats = h.compression_stats
+    cp = h.compression_policy
+    CP_ENABLED = cp.enabled
+    cp_on_hit = cp.on_hit
+    cp_should_compress = cp.should_compress
+    SB = h.stream_buffers
+    dram = h.dram
+    dram_can = dram.can_issue
+    dram_demand = dram.issue_demand
+    dram_pref = dram.issue_prefetch
+    noc_transfer = h.noc.transfer_line
+    VSEG = h.values._segments
+    VPOOL = h.values.pool_size
+    bank_free = h._bank_free  # aliased: busy-until clocks live in place
+    if STRIDE:
+        iSTR = [pf.streams._streams for pf in PFI]
+        dSTR = [pf.streams._streams for pf in PFD]
+        sSTR = [pf.streams._streams for pf in PF2]
+    else:
+        iSTR = dSTR = sSTR = None
+
+    # ---- flat pin-link accounting (PinLink.send_request / send_data,
+    # inlined at the hot call sites).  LK indices follow LinkStats field
+    # order: 0 bytes_total, 1 bytes_data, 2 bytes_header, 3 messages,
+    # 4 data_messages, 5 flits, 6 queue_cycles, 7 uncompressed_equiv.
+    link = h.link
+    sizer = link.sizer
+    HDR = link.config.header_bytes
+    DBYTES = [0] + [sizer.data_bytes(s) for s in range(1, SEGS8 + 1)]
+    DFLITS = [0] + [DBYTES[s] // HDR for s in range(1, SEGS8 + 1)]
+    UNEQ = sizer.uncompressed_equiv_bytes()
+    BPC = link.bytes_per_cycle
+    REQ_TRANSIT = PinLink.REQUEST_TRANSIT
+    lst0 = link.stats
+    LK = [lst0.bytes_total, lst0.bytes_data, lst0.bytes_header, lst0.messages,
+          lst0.data_messages, lst0.flits, lst0.queue_cycles,
+          lst0.uncompressed_equiv_bytes]
+    LKF = [link.free_time]
+
+    def link_req(ready):
+        # PinLink.send_request (request_bytes() == header_bytes: one flit)
+        LK[3] += 1
+        LK[5] += 1
+        LK[0] += HDR
+        LK[2] += HDR
+        return ready + REQ_TRANSIT
+
+    def link_dat(ready, segments):
+        # PinLink.send_data
+        nbytes = DBYTES[segments]
+        LK[3] += 1
+        LK[4] += 1
+        LK[5] += DFLITS[segments]
+        LK[0] += nbytes
+        LK[1] += nbytes - HDR
+        LK[2] += HDR
+        LK[7] += UNEQ
+        if BPC is None:
+            return ready
+        free = LKF[0]
+        start = ready if ready >= free else free
+        duration = nbytes / BPC
+        LKF[0] = start + duration
+        LK[6] += start - ready
+        return start + duration
+
+    # ---- per-level counters (CacheStats field order; absolute values)
+    # indices: 0 demand_hits, 1 demand_misses, 2 partial_hits,
+    # 3 prefetch_hits, 4 compressed_hits, 5 writebacks, 6 evictions,
+    # 7 upgrades, 8 coherence_invalidations
+    def _grab(stats):
+        return [
+            stats.demand_hits, stats.demand_misses, stats.partial_hits,
+            stats.prefetch_hits, stats.compressed_hits, stats.writebacks,
+            stats.evictions, stats.upgrades, stats.coherence_invalidations,
+        ]
+
+    ci = _grab(h.l1i_stats)
+    cd = _grab(h.l1d_stats)
+    c2 = _grab(h.l2_stats)
+    misc = [h._l2_access_count]
+
+    hist_i = h.latency_hist["l1i"]
+    hist_d = h.latency_hist["l1d"]
+    hist_m = h.latency_hist["l2_miss"]
+    hbi, hbd, hbm = hist_i._buckets, hist_d._buckets, hist_m._buckets
+    hci = [hist_i.count, hist_i.total]
+    hcd = [hist_d.count, hist_d.total]
+    hcm = [hist_m.count, hist_m.total]
+
+    # ---- flat L1 state: per-core parallel lists indexed by slot, where
+    # slots are assigned per set in build order; ``OR_[core][set]`` holds
+    # the slots in LRU order (MRU first, invalid frames at the tail) and
+    # ``MP[core]`` maps resident line address -> slot.
+    def _build_l1(caches):
+        MP = []; A = []; V = []; S = []; D = []; P = []; F = []; OR_ = []; ENT = []
+        for cache in caches:
+            a = []; v = []; s = []; d = []; p = []; f = []; ent = []
+            order = []; mp = {}
+            slot = 0
+            for stack in cache._sets:
+                ol = []
+                for e in stack:
+                    a.append(e.addr); v.append(e.valid); s.append(e.state)
+                    d.append(e.dirty); p.append(e.prefetch_bit)
+                    f.append(e.fill_time); ent.append(e)
+                    if e.valid:
+                        mp[e.addr] = slot
+                    ol.append(slot)
+                    slot += 1
+                order.append(ol)
+            MP.append(mp); A.append(a); V.append(v); S.append(s); D.append(d)
+            P.append(p); F.append(f); OR_.append(order); ENT.append(ent)
+        return MP, A, V, S, D, P, F, OR_, ENT
+
+    iMP, iA, iV, iS, iD, iP, iF, iOR, iENT = _build_l1(h.l1i)
+    dMP, dA, dV, dS, dD, dP, dF, dOR, dENT = _build_l1(h.l1d)
+    # Victim-tag address lists are plain per-set lists of ints: alias and
+    # mutate them in place, so they never need syncing.
+    iVIC = [cache._victims for cache in h.l1i]
+    dVIC = [cache._victims for cache in h.l1d]
+
+    # ---- flat L2 state: one slot per tag (valid or victim); per-set
+    # MRU-first valid-slot lists and most-recent-first victim-slot lists
+    # mirror ``_Set.valid_stack`` / ``_Set.victim_stack``.
+    l2obj = h.l2
+    N2 = L2_NSETS * l2obj.tags_per_set
+    l2A = [0] * N2; l2V = [False] * N2; l2S = [0] * N2; l2D = [False] * N2
+    l2P = [False] * N2; l2SEG = [8] * N2; l2F = [0.0] * N2
+    l2SH = [0] * N2; l2OW = [-1] * N2
+    ENT2 = [None] * N2
+    l2vs: List[List[int]] = []
+    l2vic: List[List[int]] = []
+    l2used: List[int] = []
+    l2mp = {}
+    slot = 0
+    for cset in l2obj._sets:
+        vs = []
+        for e in cset.valid_stack:
+            l2A[slot] = e.addr; l2V[slot] = True; l2S[slot] = e.state
+            l2D[slot] = e.dirty; l2P[slot] = e.prefetch_bit
+            l2SEG[slot] = e.segments; l2F[slot] = e.fill_time
+            l2SH[slot] = e.sharers; l2OW[slot] = e.owner
+            ENT2[slot] = e
+            l2mp[e.addr] = slot
+            vs.append(slot)
+            slot += 1
+        vt = []
+        for e in cset.victim_stack:
+            l2A[slot] = e.addr; l2SEG[slot] = e.segments; l2F[slot] = e.fill_time
+            ENT2[slot] = e
+            vt.append(slot)
+            slot += 1
+        l2vs.append(vs)
+        l2vic.append(vt)
+        l2used.append(cset.used_segments)
+    l2vc = [l2obj._valid_count]
+
+    # ------------------------------------------------------------------
+    # flat <-> object synchronisation
+    # ------------------------------------------------------------------
+
+    def sync():
+        """Write the flat state back into the object hierarchy.
+
+        Called at the end of the run and before every auditor check, so
+        every reader outside this kernel (collect, reset_stats, the
+        oracle's state comparison, the auditor) sees exactly the state
+        the reference engine would have left behind.
+        """
+        for stats, c in ((h.l1i_stats, ci), (h.l1d_stats, cd), (h.l2_stats, c2)):
+            (stats.demand_hits, stats.demand_misses, stats.partial_hits,
+             stats.prefetch_hits, stats.compressed_hits, stats.writebacks,
+             stats.evictions, stats.upgrades,
+             stats.coherence_invalidations) = c
+        for hist, acc in ((hist_i, hci), (hist_d, hcd), (hist_m, hcm)):
+            hist.count, hist.total = acc
+        h._l2_access_count = misc[0]
+        lstats = link.stats
+        (lstats.bytes_total, lstats.bytes_data, lstats.bytes_header,
+         lstats.messages, lstats.data_messages, lstats.flits,
+         lstats.queue_cycles, lstats.uncompressed_equiv_bytes) = LK
+        link.free_time = LKF[0]
+        for caches, MP, A, V, S, D, P, F, OR_, ENT in (
+            (h.l1i, iMP, iA, iV, iS, iD, iP, iF, iOR, iENT),
+            (h.l1d, dMP, dA, dV, dS, dD, dP, dF, dOR, dENT),
+        ):
+            for core, cache in enumerate(caches):
+                a = A[core]; v = V[core]; s = S[core]; d = D[core]
+                p = P[core]; f = F[core]; ent = ENT[core]
+                for si, stack in enumerate(cache._sets):
+                    for pos, sl in enumerate(OR_[core][si]):
+                        e = ent[sl]
+                        e.addr = a[sl]; e.valid = v[sl]; e.state = s[sl]
+                        e.dirty = d[sl]; e.prefetch_bit = p[sl]
+                        e.fill_time = f[sl]
+                        stack[pos] = e
+                cmap = cache._map
+                cmap.clear()
+                for addr, sl in MP[core].items():
+                    cmap[addr] = ent[sl]
+        for si, cset in enumerate(l2obj._sets):
+            for sl in l2vs[si]:
+                e = ENT2[sl]
+                e.addr = l2A[sl]; e.valid = True; e.state = l2S[sl]
+                e.dirty = l2D[sl]; e.prefetch_bit = l2P[sl]
+                e.segments = l2SEG[sl]; e.fill_time = l2F[sl]
+                e.sharers = l2SH[sl]; e.owner = l2OW[sl]
+            for sl in l2vic[si]:
+                e = ENT2[sl]
+                e.addr = l2A[sl]; e.valid = False; e.state = 0
+                e.dirty = False; e.prefetch_bit = False
+                e.segments = l2SEG[sl]; e.fill_time = l2F[sl]
+                e.sharers = 0; e.owner = -1
+            cset.valid_stack[:] = [ENT2[sl] for sl in l2vs[si]]
+            cset.victim_stack[:] = [ENT2[sl] for sl in l2vic[si]]
+            cset.used_segments = l2used[si]
+        cmap = l2obj._map
+        cmap.clear()
+        for addr, sl in l2mp.items():
+            cmap[addr] = ENT2[sl]
+        l2obj._valid_count = l2vc[0]
+
+    # ------------------------------------------------------------------
+    # general access-path closures, used by the prefetch-issue and
+    # stream-buffer paths (each mirrors the MemoryHierarchy method of
+    # the same name; the demand path uses the fused specializations
+    # further down instead — keep both copies in lockstep)
+    # ------------------------------------------------------------------
+
+    def l1_inval_i(core, addr):
+        # SetAssocCache.invalidate: returns (dirty, prefetch_untouched)
+        # of the invalidated line, or None when not resident.
+        mp = iMP[core]
+        sl = mp.get(addr)
+        if sl is None:
+            return None
+        D_ = iD[core]; P_ = iP[core]
+        res = (D_[sl], P_[sl])
+        del mp[addr]
+        si = addr % I_NSETS
+        if VICTIM_DEPTH:
+            vl = iVIC[core][si]
+            if addr in vl:
+                vl.remove(addr)
+            vl.insert(0, addr)
+            del vl[VICTIM_DEPTH:]
+        iV[core][sl] = False
+        iS[core][sl] = 0
+        D_[sl] = False
+        P_[sl] = False
+        ol = iOR[core][si]
+        ol.remove(sl)
+        ol.append(sl)
+        return res
+
+    def l1_inval_d(core, addr):
+        mp = dMP[core]
+        sl = mp.get(addr)
+        if sl is None:
+            return None
+        D_ = dD[core]; P_ = dP[core]
+        res = (D_[sl], P_[sl])
+        del mp[addr]
+        si = addr % D_NSETS
+        if VICTIM_DEPTH:
+            vl = dVIC[core][si]
+            if addr in vl:
+                vl.remove(addr)
+            vl.insert(0, addr)
+            del vl[VICTIM_DEPTH:]
+        dV[core][sl] = False
+        dS[core][sl] = 0
+        D_[sl] = False
+        P_[sl] = False
+        ol = dOR[core][si]
+        ol.remove(sl)
+        ol.append(sl)
+        return res
+
+    def l1_insert_i(core, addr, state, dirty, prefetch, fill_time):
+        # SetAssocCache.insert: returns (addr, dirty, prefetch_untouched)
+        # for the evicted line, or None.
+        ol = iOR[core][addr % I_NSETS]
+        sl = ol[-1]
+        A_ = iA[core]; V_ = iV[core]; D_ = iD[core]; P_ = iP[core]
+        mp = iMP[core]
+        ev = None
+        if V_[sl]:
+            old = A_[sl]
+            ev = (old, D_[sl], P_[sl])
+            del mp[old]
+            if VICTIM_DEPTH:
+                vl = iVIC[core][old % I_NSETS]
+                if old in vl:
+                    vl.remove(old)
+                vl.insert(0, old)
+                del vl[VICTIM_DEPTH:]
+        A_[sl] = addr
+        V_[sl] = True
+        iS[core][sl] = state
+        D_[sl] = dirty
+        P_[sl] = prefetch
+        iF[core][sl] = fill_time
+        mp[addr] = sl
+        del ol[-1]
+        ol.insert(0, sl)
+        return ev
+
+    def l1_insert_d(core, addr, state, dirty, prefetch, fill_time):
+        ol = dOR[core][addr % D_NSETS]
+        sl = ol[-1]
+        A_ = dA[core]; V_ = dV[core]; D_ = dD[core]; P_ = dP[core]
+        mp = dMP[core]
+        ev = None
+        if V_[sl]:
+            old = A_[sl]
+            ev = (old, D_[sl], P_[sl])
+            del mp[old]
+            if VICTIM_DEPTH:
+                vl = dVIC[core][old % D_NSETS]
+                if old in vl:
+                    vl.remove(old)
+                vl.insert(0, old)
+                del vl[VICTIM_DEPTH:]
+        A_[sl] = addr
+        V_[sl] = True
+        dS[core][sl] = state
+        D_[sl] = dirty
+        P_[sl] = prefetch
+        dF[core][sl] = fill_time
+        mp[addr] = sl
+        del ol[-1]
+        ol.insert(0, sl)
+        return ev
+
+    def handle_l1_ev(core, ev, pf, cnt, level, now):
+        # MemoryHierarchy._handle_l1_eviction
+        ev_addr, ev_dirty, ev_pfu = ev
+        cnt[6] += 1  # evictions
+        if ev_pfu:
+            pf.stats.useless += 1
+            pf.adaptive.on_useless()
+            tax.on_evicted_unused(level)
+        sl2 = l2mp.get(ev_addr)
+        if sl2 is not None:
+            # Directory.remove_sharer, inlined.
+            l2SH[sl2] &= ~(1 << core)
+            if l2OW[sl2] == core:
+                l2OW[sl2] = -1
+            if ev_dirty:
+                l2D[sl2] = True
+                cnt[5] += 1  # writebacks
+        elif ev_dirty:
+            link_dat(now, VSEG[(ev_addr * 2654435761 >> 7) % VPOOL])
+            cnt[5] += 1
+
+    def inval_other(sl, addr, core):
+        # MemoryHierarchy._invalidate_other_sharers
+        cost = 0.0
+        shv = l2SH[sl]
+        sharers = []
+        sharer = 0
+        while shv:
+            if shv & 1 and sharer != core:
+                sharers.append(sharer)
+            shv >>= 1
+            sharer += 1
+        for sharer in sharers:
+            lev = l1_inval_i(sharer, addr)
+            if lev is not None:
+                ci[8] += 1  # coherence_invalidations
+                if lev[0]:
+                    l2D[sl] = True
+            lev = l1_inval_d(sharer, addr)
+            if lev is not None:
+                cd[8] += 1
+                if lev[0]:
+                    l2D[sl] = True
+            # Directory.remove_sharer, inlined.
+            l2SH[sl] &= ~(1 << sharer)
+            if l2OW[sl] == sharer:
+                l2OW[sl] = -1
+            cost = _INTERVENTION_COST
+        return cost
+
+    def downgrade_owner(sl, addr):
+        # MemoryHierarchy._downgrade_owner
+        owner = l2OW[sl]
+        mp = iMP[owner]
+        s1 = mp.get(addr)
+        if s1 is not None and iS[owner][s1] == MODIFIED:
+            iS[owner][s1] = SHARED
+            iD[owner][s1] = False
+            l2D[sl] = True
+        mp = dMP[owner]
+        s1 = mp.get(addr)
+        if s1 is not None and dS[owner][s1] == MODIFIED:
+            dS[owner][s1] = SHARED
+            dD[owner][s1] = False
+            l2D[sl] = True
+        l2OW[sl] = -1
+
+    def upgrade(core, addr):
+        # MemoryHierarchy._upgrade
+        sl = l2mp.get(addr)
+        if sl is None:  # lost to L2 eviction race; treat as cheap re-fetch
+            return L2_HIT_INT
+        cost = L2_HIT_INT
+        cost += inval_other(sl, addr, core)
+        # Directory.set_owner (replaces the sharer vector).
+        l2SH[sl] = 1 << core
+        l2OW[sl] = core
+        l2D[sl] = True
+        return cost
+
+    def handle_l2_ev(ev_addr, ev_dirty, ev_pfu, ev_sh, now):
+        # MemoryHierarchy._handle_l2_eviction
+        c2[6] += 1  # evictions
+        if ev_pfu:
+            pf2_stats.useless += 1
+            l2ad.on_useless()
+            tax.on_evicted_unused("l2")
+        dirty = ev_dirty
+        sharers = ev_sh
+        core = 0
+        while sharers:
+            if sharers & 1:
+                lev = l1_inval_i(core, ev_addr)
+                if lev is not None:
+                    ci[8] += 1
+                    dirty = dirty or lev[0]
+                    if lev[1]:
+                        pf = PFI[core]
+                        pf.stats.useless += 1
+                        pf.adaptive.on_useless()
+                        tax.on_evicted_unused("l1i")
+                lev = l1_inval_d(core, ev_addr)
+                if lev is not None:
+                    cd[8] += 1
+                    dirty = dirty or lev[0]
+                    if lev[1]:
+                        pf = PFD[core]
+                        pf.stats.useless += 1
+                        pf.adaptive.on_useless()
+                        tax.on_evicted_unused("l1d")
+            sharers >>= 1
+            core += 1
+        if dirty:
+            c2[5] += 1  # writebacks
+            link_dat(now, VSEG[(ev_addr * 2654435761 >> 7) % VPOOL])
+
+    def fill_l2(core, addr, segments, now, fill_time, store, demand, prefetch,
+                from_l1):
+        # MemoryHierarchy._fill_l2 with CompressedSetCache.insert inlined.
+        sharers = (1 << core) if (demand or from_l1) else 0
+        owner = core if store else -1
+        state = MODIFIED if store else SHARED
+        # note_line_compression (pre-clamp segments, as in the reference).
+        if segments < SEGS8:
+            cstats.compressed_lines += 1
+        else:
+            cstats.uncompressed_lines += 1
+        cstats.segment_sum += segments
+        if not L2_COMPRESSED:
+            segments = SEGS8
+        si = addr % L2_NSETS
+        vs = l2vs[si]
+        vstack = l2vic[si]
+        evs = None
+        while l2used[si] + segments > TOTAL_SEGS or not vstack:
+            # _evict_lru + _retire, inlined.
+            sl = vs.pop()
+            l2used[si] -= l2SEG[sl]
+            del l2mp[l2A[sl]]
+            l2vc[0] -= 1
+            ev = (l2A[sl], l2D[sl], l2P[sl], l2SH[sl])
+            l2V[sl] = False
+            l2S[sl] = 0
+            l2D[sl] = False
+            l2P[sl] = False
+            l2SH[sl] = 0
+            l2OW[sl] = -1
+            vstack.insert(0, sl)
+            if evs is None:
+                evs = [ev]
+            else:
+                evs.append(ev)
+        sl = vstack.pop()  # claim the oldest victim tag
+        l2A[sl] = addr
+        l2V[sl] = True
+        l2S[sl] = state
+        l2D[sl] = store
+        l2P[sl] = prefetch and not from_l1
+        l2SEG[sl] = segments
+        l2F[sl] = fill_time
+        l2SH[sl] = sharers
+        l2OW[sl] = owner
+        vs.insert(0, sl)
+        l2used[si] += segments
+        l2mp[addr] = sl
+        l2vc[0] += 1
+        if evs is not None:
+            for ev_addr, ev_dirty, ev_pfu, ev_sh in evs:
+                handle_l2_ev(ev_addr, ev_dirty, ev_pfu, ev_sh, now)
+
+    def fetch_line(core, addr, request_ready, demand):
+        # MemoryHierarchy._fetch_line (ValueModel.segments_for inlined).
+        segments = VSEG[(addr * 2654435761 >> 7) % VPOOL]
+        if CP_ENABLED and not cp_should_compress():
+            segments = SEGS8
+        request_done = link_req(request_ready)
+        if demand:
+            mem_done = dram_demand(core, request_done, addr)
+        else:
+            mem_done = dram_pref(core, request_done, addr)
+        return link_dat(mem_done, segments), segments
+
+    def l2_access(core, addr, now, store, demand, prefetch=False,
+                  from_l1=False):
+        # MemoryHierarchy._l2_access (general form; the demand path in
+        # l1_miss_i / l1_miss_d inlines a specialization of this)
+        count = misc[0] + 1
+        misc[0] = count
+        if not count % _SAMPLE_EVERY:
+            cstats.record_sample(l2vc[0])
+        bank = addr % NBANKS
+        start = bank_free[bank]
+        if start < now:
+            start = now
+        bank_free[bank] = start + _BANK_OCCUPANCY
+        bank_delay = start - now
+
+        sl = l2mp.get(addr)
+        if sl is not None:
+            latency = bank_delay + L2_HIT_LAT
+            line_compressed = L2_COMPRESSED and l2SEG[sl] < SEGS8
+            if line_compressed:
+                latency += DECOMP
+                c2[4] += 1  # compressed_hits
+            si = addr % L2_NSETS
+            vs = l2vs[si]
+            if CP_ENABLED:
+                # CompressedSetCache.stack_depth (before the LRU touch).
+                depth = 0
+                for s0 in vs:
+                    if l2A[s0] == addr:
+                        break
+                    depth += 1
+                cp_on_hit(depth, L2_UNCOMP_ASSOC, line_compressed)
+            first_access = demand or from_l1
+            ft = l2F[sl]
+            if ft > now:
+                wait = ft - now
+                if wait > latency:
+                    latency = wait
+                if first_access and l2P[sl]:
+                    c2[2] += 1  # partial_hits
+                    pf2_stats.useful += 1
+                    l2ad.on_useful()
+                    tax.on_used("l2")
+                    l2P[sl] = False
+            if first_access:
+                if demand:
+                    c2[0] += 1  # demand_hits
+                if l2P[sl]:
+                    c2[3] += 1  # prefetch_hits
+                    pf2_stats.useful += 1
+                    l2ad.on_useful()
+                    tax.on_used("l2")
+                l2P[sl] = False
+            if vs[0] != sl:
+                vs.remove(sl)
+                vs.insert(0, sl)
+            if store:
+                latency += inval_other(sl, addr, core)
+                l2SH[sl] = 1 << core  # Directory.set_owner
+                l2OW[sl] = core
+                l2D[sl] = True
+            else:
+                ow = l2OW[sl]
+                if ow != -1 and ow != core:
+                    downgrade_owner(sl, addr)
+                    latency += _INTERVENTION_COST
+            if demand or from_l1:
+                l2SH[sl] |= 1 << core  # Directory.add_sharer
+            if demand and PF_ON:
+                pf2 = PF2[core]
+                if not STRIDE or addr in sSTR[core]:
+                    for p in pf2.observe_hit(addr):
+                        issue_l2_pf(core, p, now)
+            return latency
+
+        # ---- L2 miss ----
+        if SB is not None and (demand or from_l1):
+            # MemoryHierarchy._stream_buffer_hit
+            ent = SB[core].take(addr)
+            if ent is not None:
+                latency = bank_delay + L2_HIT_INT
+                wait = ent.fill_time - now
+                if wait > latency:
+                    latency = wait
+                if demand:
+                    c2[3] += 1  # prefetch_hits
+                    pf2_stats.useful += 1
+                    l2ad.on_useful()
+                    tax.on_used("l2")
+                fill_l2(core, addr, ent.segments, now, now + latency, store,
+                        demand, False, from_l1)
+                if demand:
+                    pf2 = PF2[core]
+                    if not STRIDE or addr in sSTR[core]:
+                        for p in pf2.observe_hit(addr):
+                            issue_l2_pf(core, p, now)
+                return latency
+        if demand:
+            c2[1] += 1  # demand_misses
+            if PF_ON:
+                si = addr % L2_NSETS
+                matched = False
+                for s0 in l2vic[si]:
+                    if l2A[s0] == addr:
+                        matched = True
+                        break
+                if matched:
+                    for s0 in l2vs[si]:
+                        if l2P[s0]:
+                            tax.on_victim_live("l2")
+                            if ADAPTIVE:
+                                pf2_stats.harmful += 1
+                                l2ad.on_harmful()
+                            break
+
+        data_done, segments = fetch_line(
+            core, addr, now + bank_delay + L2_HIT_LAT, demand
+        )
+        latency = data_done - now
+        if demand:
+            # LatencyHistogram.record, inlined.
+            bucket = int(latency).bit_length()
+            if bucket > 24:
+                bucket = 24
+            hbm[bucket] += 1
+            hcm[0] += 1
+            hcm[1] += latency
+
+        fill_l2(core, addr, segments, now, data_done, store, demand, prefetch,
+                from_l1)
+        if (demand or from_l1) and PF_ON:
+            for p in PF2[core].observe_miss(addr):
+                issue_l2_pf(core, p, now)
+        return latency
+
+    def issue_l1_pf(core, kind, addr, now):
+        # MemoryHierarchy._issue_l1_prefetch (+ the OpTap record the
+        # wrapped method would have produced, outcome set directly).
+        if TAP:
+            rec = ["P1", core, kind, addr, "skipped"]
+            ops_append(rec)
+        if addr < 0:
+            return
+        if kind == 0:
+            mp = iMP[core]; pf = PFI[core]; cnt = ci; level = "l1i"
+            fill_lat = L1I_LAT; ins = l1_insert_i
+        else:
+            mp = dMP[core]; pf = PFD[core]; cnt = cd; level = "l1d"
+            fill_lat = L1D_LAT; ins = l1_insert_d
+        if addr in mp:
+            return
+        if addr not in l2mp and not dram_can(core, now):
+            pf.stats.dropped += 1
+            if TAP:
+                rec[4] = "dropped"
+            return
+        pf.stats.issued += 1
+        if TAP:
+            rec[4] = "issued"
+        tax.on_issued(level)
+        latency = l2_access(core, addr, now, False, False, True, True)
+        if addr in l2mp:  # nested-prefetch inclusion guard
+            ev = ins(core, addr, SHARED, False, True, now + fill_lat + latency)
+            if ev is not None:
+                handle_l1_ev(core, ev, pf, cnt, level, now)
+
+    def issue_l2_pf(core, addr, now):
+        # MemoryHierarchy._issue_l2_prefetch (+ native OpTap record).
+        if TAP:
+            rec = ["P2", core, addr, "skipped"]
+            ops_append(rec)
+        if addr < 0:
+            return
+        if addr in l2mp:
+            return
+        if SB is not None and SB[core].contains(addr):
+            return
+        if not dram_can(core, now):
+            pf2_stats.dropped += 1
+            if TAP:
+                rec[3] = "dropped"
+            return
+        pf2_stats.issued += 1
+        if TAP:
+            rec[3] = "issued"
+        tax.on_issued("l2")
+        if SB is not None:
+            # Pollution-free placement (MemoryHierarchy._bank_delay form).
+            bank = addr % NBANKS
+            free = bank_free[bank]
+            start = free if free > now else now
+            bank_free[bank] = start + _BANK_OCCUPANCY
+            bank_delay = start - now
+            data_done, segments = fetch_line(
+                core, addr, now + bank_delay + L2_HIT_INT, False
+            )
+            SB[core].insert(addr, data_done, segments)
+            return
+        l2_access(core, addr, now, False, False, True)
+
+    # ------------------------------------------------------------------
+    # fused demand-miss specializations: _l1_miss -> _l2_access ->
+    # _fetch_line -> _fill_l2 -> eviction handling in one closure call,
+    # with demand=True / prefetch=False / from_l1=False constant-folded
+    # (so first_access is True and the L1 fill is never a prefetch).
+    # Kept in lockstep with the general closures above.
+    # ------------------------------------------------------------------
+
+    # The default-argument tails below bind every hot name as a local
+    # (LOAD_FAST) instead of a closure cell or module global — worth a
+    # measurable fraction of the per-miss cost at ~150 accesses per call.
+    def l1_miss_i(core, addr, now, ci=ci, c2=c2, misc=misc, iVIC=iVIC,
+                  iV=iV, iP=iP, iOR=iOR, iA=iA, iD=iD, iF=iF, iS=iS,
+                  iMP=iMP, PFI=PFI, PF2=PF2, tax=tax, cstats=cstats,
+                  l2vc=l2vc, bank_free=bank_free, l2mp_get=l2mp.get,
+                  l2mp=l2mp, l2A=l2A, l2V=l2V, l2D=l2D, l2P=l2P,
+                  l2SEG=l2SEG, l2F=l2F, l2SH=l2SH, l2OW=l2OW, l2vs=l2vs,
+                  l2vic=l2vic, l2used=l2used, pf2_stats=pf2_stats,
+                  l2ad=l2ad, sSTR=sSTR, SB=SB, VSEG=VSEG, VPOOL=VPOOL,
+                  LK=LK, LKF=LKF, DBYTES=DBYTES, DFLITS=DFLITS, HDR=HDR,
+                  UNEQ=UNEQ, BPC=BPC, REQ_TRANSIT=REQ_TRANSIT, hbm=hbm,
+                  hcm=hcm, dram_demand=dram_demand,
+                  cp_on_hit=cp_on_hit, cp_should_compress=cp_should_compress,
+                  noc_transfer=noc_transfer,
+                  SAMPLE=_SAMPLE_EVERY, OCC=_BANK_OCCUPANCY,
+                  IVC=_INTERVENTION_COST, SHARED=SHARED,
+                  NBANKS=NBANKS, I_NSETS=I_NSETS, L2_NSETS=L2_NSETS,
+                  TOTAL_SEGS=TOTAL_SEGS, SEGS8=SEGS8, DECOMP=DECOMP,
+                  L1I_LAT=L1I_LAT, L2_HIT_LAT=L2_HIT_LAT,
+                  L2_HIT_INT=L2_HIT_INT, L2_UNCOMP_ASSOC=L2_UNCOMP_ASSOC,
+                  VICTIM_DEPTH=VICTIM_DEPTH, ADAPTIVE=ADAPTIVE,
+                  CP_ENABLED=CP_ENABLED, L2_COMPRESSED=L2_COMPRESSED,
+                  PF_ON=PF_ON, STRIDE=STRIDE, NOC_ON=NOC_ON,
+                  downgrade_owner=downgrade_owner, fill_l2=fill_l2,
+                  issue_l2_pf=issue_l2_pf, issue_l1_pf=issue_l1_pf,
+                  handle_l2_ev=handle_l2_ev):
+        ci[1] += 1  # demand_misses
+        if ADAPTIVE:
+            si = addr % I_NSETS
+            if addr in iVIC[core][si]:
+                V_ = iV[core]
+                P_ = iP[core]
+                for s0 in iOR[core][si]:
+                    if V_[s0] and P_[s0]:
+                        pf = PFI[core]
+                        pf.stats.harmful += 1
+                        pf.adaptive.on_harmful()
+                        tax.on_victim_live("l1i")
+                        break
+        # -- _l2_access(store=False, demand=True), specialized ----------
+        count = misc[0] + 1
+        misc[0] = count
+        if not count % SAMPLE:
+            cstats.record_sample(l2vc[0])
+        bank = addr % NBANKS
+        start = bank_free[bank]
+        if start < now:
+            start = now
+        bank_free[bank] = start + OCC
+        bank_delay = start - now
+        sl = l2mp_get(addr)
+        if sl is not None:
+            latency = bank_delay + L2_HIT_LAT
+            if L2_COMPRESSED and l2SEG[sl] < SEGS8:
+                latency += DECOMP
+                c2[4] += 1
+                line_compressed = True
+            else:
+                line_compressed = False
+            vs = l2vs[addr % L2_NSETS]
+            if CP_ENABLED:
+                depth = 0
+                for s0 in vs:
+                    if l2A[s0] == addr:
+                        break
+                    depth += 1
+                cp_on_hit(depth, L2_UNCOMP_ASSOC, line_compressed)
+            ft = l2F[sl]
+            if ft > now:
+                wait = ft - now
+                if wait > latency:
+                    latency = wait
+                if l2P[sl]:
+                    c2[2] += 1
+                    pf2_stats.useful += 1
+                    l2ad.on_useful()
+                    tax.on_used("l2")
+                    l2P[sl] = False
+            c2[0] += 1
+            if l2P[sl]:
+                c2[3] += 1
+                pf2_stats.useful += 1
+                l2ad.on_useful()
+                tax.on_used("l2")
+            l2P[sl] = False
+            if vs[0] != sl:
+                vs.remove(sl)
+                vs.insert(0, sl)
+            ow = l2OW[sl]
+            if ow != -1 and ow != core:
+                downgrade_owner(sl, addr)
+                latency += IVC
+            l2SH[sl] |= 1 << core
+            if PF_ON and (not STRIDE or addr in sSTR[core]):
+                for p in PF2[core].observe_hit(addr):
+                    issue_l2_pf(core, p, now)
+        else:
+            latency = None
+            if SB is not None:
+                ent = SB[core].take(addr)
+                if ent is not None:
+                    latency = bank_delay + L2_HIT_INT
+                    wait = ent.fill_time - now
+                    if wait > latency:
+                        latency = wait
+                    c2[3] += 1
+                    pf2_stats.useful += 1
+                    l2ad.on_useful()
+                    tax.on_used("l2")
+                    fill_l2(core, addr, ent.segments, now, now + latency,
+                            False, True, False, False)
+                    if not STRIDE or addr in sSTR[core]:
+                        for p in PF2[core].observe_hit(addr):
+                            issue_l2_pf(core, p, now)
+            if latency is None:
+                c2[1] += 1
+                if PF_ON:
+                    si2 = addr % L2_NSETS
+                    for s0 in l2vic[si2]:
+                        if l2A[s0] == addr:
+                            for s1 in l2vs[si2]:
+                                if l2P[s1]:
+                                    tax.on_victim_live("l2")
+                                    if ADAPTIVE:
+                                        pf2_stats.harmful += 1
+                                        l2ad.on_harmful()
+                                    break
+                            break
+                # -- _fetch_line(demand=True), link inlined -------------
+                segments = VSEG[(addr * 2654435761 >> 7) % VPOOL]
+                if CP_ENABLED and not cp_should_compress():
+                    segments = SEGS8
+                LK[3] += 1
+                LK[5] += 1
+                LK[0] += HDR
+                LK[2] += HDR
+                mem_done = dram_demand(
+                    core, now + bank_delay + L2_HIT_LAT + REQ_TRANSIT, addr
+                )
+                nbytes = DBYTES[segments]
+                LK[3] += 1
+                LK[4] += 1
+                LK[5] += DFLITS[segments]
+                LK[0] += nbytes
+                LK[1] += nbytes - HDR
+                LK[2] += HDR
+                LK[7] += UNEQ
+                if BPC is None:
+                    data_done = mem_done
+                else:
+                    free = LKF[0]
+                    lstart = mem_done if mem_done >= free else free
+                    duration = nbytes / BPC
+                    LKF[0] = lstart + duration
+                    LK[6] += lstart - mem_done
+                    data_done = lstart + duration
+                latency = data_done - now
+                bucket = int(latency).bit_length()
+                if bucket > 24:
+                    bucket = 24
+                hbm[bucket] += 1
+                hcm[0] += 1
+                hcm[1] += latency
+                # -- _fill_l2(store=False, demand=True) -----------------
+                if segments < SEGS8:
+                    cstats.compressed_lines += 1
+                else:
+                    cstats.uncompressed_lines += 1
+                cstats.segment_sum += segments
+                segs = segments if L2_COMPRESSED else SEGS8
+                si2 = addr % L2_NSETS
+                vs2 = l2vs[si2]
+                vstack = l2vic[si2]
+                used = l2used[si2]
+                evs = None
+                while used + segs > TOTAL_SEGS or not vstack:
+                    sl2 = vs2.pop()
+                    used -= l2SEG[sl2]
+                    del l2mp[l2A[sl2]]
+                    l2vc[0] -= 1
+                    ev = (l2A[sl2], l2D[sl2], l2P[sl2], l2SH[sl2])
+                    l2V[sl2] = False
+                    l2S[sl2] = 0
+                    l2D[sl2] = False
+                    l2P[sl2] = False
+                    l2SH[sl2] = 0
+                    l2OW[sl2] = -1
+                    vstack.insert(0, sl2)
+                    if evs is None:
+                        evs = [ev]
+                    else:
+                        evs.append(ev)
+                sl2 = vstack.pop()
+                l2A[sl2] = addr
+                l2V[sl2] = True
+                l2S[sl2] = SHARED
+                l2D[sl2] = False
+                l2P[sl2] = False
+                l2SEG[sl2] = segs
+                l2F[sl2] = data_done
+                l2SH[sl2] = 1 << core
+                l2OW[sl2] = -1
+                vs2.insert(0, sl2)
+                l2used[si2] = used + segs
+                l2mp[addr] = sl2
+                l2vc[0] += 1
+                if evs is not None:
+                    for ev_addr, ev_dirty, ev_pfu, ev_sh in evs:
+                        handle_l2_ev(ev_addr, ev_dirty, ev_pfu, ev_sh, now)
+                if PF_ON:
+                    for p in PF2[core].observe_miss(addr):
+                        issue_l2_pf(core, p, now)
+        # -- back in _l1_miss -------------------------------------------
+        total = L1I_LAT + latency
+        if NOC_ON:
+            total = noc_transfer(core, now + total) - now
+        if addr in l2mp:  # inclusion guard (see _l1_miss in the reference)
+            # SetAssocCache.insert + _handle_l1_eviction, fused
+            ol = iOR[core][addr % I_NSETS]
+            sl1 = ol[-1]
+            A_ = iA[core]
+            V_ = iV[core]
+            D_ = iD[core]
+            P_ = iP[core]
+            mp = iMP[core]
+            if V_[sl1]:
+                old = A_[sl1]
+                old_dirty = D_[sl1]
+                old_pfu = P_[sl1]
+                del mp[old]
+                if VICTIM_DEPTH:
+                    vl = iVIC[core][old % I_NSETS]
+                    if old in vl:
+                        vl.remove(old)
+                    vl.insert(0, old)
+                    del vl[VICTIM_DEPTH:]
+                ci[6] += 1
+                if old_pfu:
+                    pf = PFI[core]
+                    pf.stats.useless += 1
+                    pf.adaptive.on_useless()
+                    tax.on_evicted_unused("l1i")
+                sl2 = l2mp_get(old)
+                if sl2 is not None:
+                    l2SH[sl2] &= ~(1 << core)
+                    if l2OW[sl2] == core:
+                        l2OW[sl2] = -1
+                    if old_dirty:
+                        l2D[sl2] = True
+                        ci[5] += 1
+                elif old_dirty:
+                    link_dat(now, VSEG[(old * 2654435761 >> 7) % VPOOL])
+                    ci[5] += 1
+            A_[sl1] = addr
+            V_[sl1] = True
+            iS[core][sl1] = SHARED
+            D_[sl1] = False
+            P_[sl1] = False
+            iF[core][sl1] = now + total
+            mp[addr] = sl1
+            del ol[-1]
+            ol.insert(0, sl1)
+        if PF_ON:
+            for p in PFI[core].observe_miss(addr):
+                issue_l1_pf(core, 0, p, now)
+        return total
+
+    def l1_miss_d(core, addr, now, store, cd=cd, c2=c2, misc=misc,
+                  dVIC=dVIC, dV=dV, dP=dP, dOR=dOR, dA=dA, dD=dD, dF=dF,
+                  dS=dS, dMP=dMP, PFD=PFD, PF2=PF2, tax=tax, cstats=cstats,
+                  l2vc=l2vc, bank_free=bank_free, l2mp_get=l2mp.get,
+                  l2mp=l2mp, l2A=l2A, l2V=l2V, l2D=l2D, l2P=l2P,
+                  l2SEG=l2SEG, l2F=l2F, l2SH=l2SH, l2OW=l2OW, l2vs=l2vs,
+                  l2vic=l2vic, l2used=l2used, pf2_stats=pf2_stats,
+                  l2ad=l2ad, sSTR=sSTR, SB=SB, VSEG=VSEG, VPOOL=VPOOL,
+                  LK=LK, LKF=LKF, DBYTES=DBYTES, DFLITS=DFLITS, HDR=HDR,
+                  UNEQ=UNEQ, BPC=BPC, REQ_TRANSIT=REQ_TRANSIT, hbm=hbm,
+                  hcm=hcm, dram_demand=dram_demand,
+                  cp_on_hit=cp_on_hit, cp_should_compress=cp_should_compress,
+                  noc_transfer=noc_transfer,
+                  SAMPLE=_SAMPLE_EVERY, OCC=_BANK_OCCUPANCY,
+                  IVC=_INTERVENTION_COST, SHARED=SHARED, MODIFIED=MODIFIED,
+                  NBANKS=NBANKS, D_NSETS=D_NSETS, L2_NSETS=L2_NSETS,
+                  TOTAL_SEGS=TOTAL_SEGS, SEGS8=SEGS8, DECOMP=DECOMP,
+                  L1D_LAT=L1D_LAT, L2_HIT_LAT=L2_HIT_LAT,
+                  L2_HIT_INT=L2_HIT_INT, L2_UNCOMP_ASSOC=L2_UNCOMP_ASSOC,
+                  VICTIM_DEPTH=VICTIM_DEPTH, ADAPTIVE=ADAPTIVE,
+                  CP_ENABLED=CP_ENABLED, L2_COMPRESSED=L2_COMPRESSED,
+                  PF_ON=PF_ON, STRIDE=STRIDE, NOC_ON=NOC_ON,
+                  downgrade_owner=downgrade_owner, inval_other=inval_other,
+                  fill_l2=fill_l2, issue_l2_pf=issue_l2_pf,
+                  issue_l1_pf=issue_l1_pf, handle_l2_ev=handle_l2_ev):
+        cd[1] += 1  # demand_misses
+        if ADAPTIVE:
+            si = addr % D_NSETS
+            if addr in dVIC[core][si]:
+                V_ = dV[core]
+                P_ = dP[core]
+                for s0 in dOR[core][si]:
+                    if V_[s0] and P_[s0]:
+                        pf = PFD[core]
+                        pf.stats.harmful += 1
+                        pf.adaptive.on_harmful()
+                        tax.on_victim_live("l1d")
+                        break
+        # -- _l2_access(demand=True), specialized -----------------------
+        count = misc[0] + 1
+        misc[0] = count
+        if not count % SAMPLE:
+            cstats.record_sample(l2vc[0])
+        bank = addr % NBANKS
+        start = bank_free[bank]
+        if start < now:
+            start = now
+        bank_free[bank] = start + OCC
+        bank_delay = start - now
+        sl = l2mp_get(addr)
+        if sl is not None:
+            latency = bank_delay + L2_HIT_LAT
+            if L2_COMPRESSED and l2SEG[sl] < SEGS8:
+                latency += DECOMP
+                c2[4] += 1
+                line_compressed = True
+            else:
+                line_compressed = False
+            vs = l2vs[addr % L2_NSETS]
+            if CP_ENABLED:
+                depth = 0
+                for s0 in vs:
+                    if l2A[s0] == addr:
+                        break
+                    depth += 1
+                cp_on_hit(depth, L2_UNCOMP_ASSOC, line_compressed)
+            ft = l2F[sl]
+            if ft > now:
+                wait = ft - now
+                if wait > latency:
+                    latency = wait
+                if l2P[sl]:
+                    c2[2] += 1
+                    pf2_stats.useful += 1
+                    l2ad.on_useful()
+                    tax.on_used("l2")
+                    l2P[sl] = False
+            c2[0] += 1
+            if l2P[sl]:
+                c2[3] += 1
+                pf2_stats.useful += 1
+                l2ad.on_useful()
+                tax.on_used("l2")
+            l2P[sl] = False
+            if vs[0] != sl:
+                vs.remove(sl)
+                vs.insert(0, sl)
+            if store:
+                latency += inval_other(sl, addr, core)
+                l2SH[sl] = 1 << core  # Directory.set_owner
+                l2OW[sl] = core
+                l2D[sl] = True
+            else:
+                ow = l2OW[sl]
+                if ow != -1 and ow != core:
+                    downgrade_owner(sl, addr)
+                    latency += IVC
+            l2SH[sl] |= 1 << core
+            if PF_ON and (not STRIDE or addr in sSTR[core]):
+                for p in PF2[core].observe_hit(addr):
+                    issue_l2_pf(core, p, now)
+        else:
+            latency = None
+            if SB is not None:
+                ent = SB[core].take(addr)
+                if ent is not None:
+                    latency = bank_delay + L2_HIT_INT
+                    wait = ent.fill_time - now
+                    if wait > latency:
+                        latency = wait
+                    c2[3] += 1
+                    pf2_stats.useful += 1
+                    l2ad.on_useful()
+                    tax.on_used("l2")
+                    fill_l2(core, addr, ent.segments, now, now + latency,
+                            store, True, False, False)
+                    if not STRIDE or addr in sSTR[core]:
+                        for p in PF2[core].observe_hit(addr):
+                            issue_l2_pf(core, p, now)
+            if latency is None:
+                c2[1] += 1
+                if PF_ON:
+                    si2 = addr % L2_NSETS
+                    for s0 in l2vic[si2]:
+                        if l2A[s0] == addr:
+                            for s1 in l2vs[si2]:
+                                if l2P[s1]:
+                                    tax.on_victim_live("l2")
+                                    if ADAPTIVE:
+                                        pf2_stats.harmful += 1
+                                        l2ad.on_harmful()
+                                    break
+                            break
+                # -- _fetch_line(demand=True), link inlined -------------
+                segments = VSEG[(addr * 2654435761 >> 7) % VPOOL]
+                if CP_ENABLED and not cp_should_compress():
+                    segments = SEGS8
+                LK[3] += 1
+                LK[5] += 1
+                LK[0] += HDR
+                LK[2] += HDR
+                mem_done = dram_demand(
+                    core, now + bank_delay + L2_HIT_LAT + REQ_TRANSIT, addr
+                )
+                nbytes = DBYTES[segments]
+                LK[3] += 1
+                LK[4] += 1
+                LK[5] += DFLITS[segments]
+                LK[0] += nbytes
+                LK[1] += nbytes - HDR
+                LK[2] += HDR
+                LK[7] += UNEQ
+                if BPC is None:
+                    data_done = mem_done
+                else:
+                    free = LKF[0]
+                    lstart = mem_done if mem_done >= free else free
+                    duration = nbytes / BPC
+                    LKF[0] = lstart + duration
+                    LK[6] += lstart - mem_done
+                    data_done = lstart + duration
+                latency = data_done - now
+                bucket = int(latency).bit_length()
+                if bucket > 24:
+                    bucket = 24
+                hbm[bucket] += 1
+                hcm[0] += 1
+                hcm[1] += latency
+                # -- _fill_l2(demand=True) ------------------------------
+                if segments < SEGS8:
+                    cstats.compressed_lines += 1
+                else:
+                    cstats.uncompressed_lines += 1
+                cstats.segment_sum += segments
+                segs = segments if L2_COMPRESSED else SEGS8
+                si2 = addr % L2_NSETS
+                vs2 = l2vs[si2]
+                vstack = l2vic[si2]
+                used = l2used[si2]
+                evs = None
+                while used + segs > TOTAL_SEGS or not vstack:
+                    sl2 = vs2.pop()
+                    used -= l2SEG[sl2]
+                    del l2mp[l2A[sl2]]
+                    l2vc[0] -= 1
+                    ev = (l2A[sl2], l2D[sl2], l2P[sl2], l2SH[sl2])
+                    l2V[sl2] = False
+                    l2S[sl2] = 0
+                    l2D[sl2] = False
+                    l2P[sl2] = False
+                    l2SH[sl2] = 0
+                    l2OW[sl2] = -1
+                    vstack.insert(0, sl2)
+                    if evs is None:
+                        evs = [ev]
+                    else:
+                        evs.append(ev)
+                sl2 = vstack.pop()
+                l2A[sl2] = addr
+                l2V[sl2] = True
+                l2S[sl2] = MODIFIED if store else SHARED
+                l2D[sl2] = store
+                l2P[sl2] = False
+                l2SEG[sl2] = segs
+                l2F[sl2] = data_done
+                l2SH[sl2] = 1 << core
+                l2OW[sl2] = core if store else -1
+                vs2.insert(0, sl2)
+                l2used[si2] = used + segs
+                l2mp[addr] = sl2
+                l2vc[0] += 1
+                if evs is not None:
+                    for ev_addr, ev_dirty, ev_pfu, ev_sh in evs:
+                        handle_l2_ev(ev_addr, ev_dirty, ev_pfu, ev_sh, now)
+                if PF_ON:
+                    for p in PF2[core].observe_miss(addr):
+                        issue_l2_pf(core, p, now)
+        # -- back in _l1_miss -------------------------------------------
+        total = L1D_LAT + latency
+        if NOC_ON:
+            total = noc_transfer(core, now + total) - now
+        if addr in l2mp:  # inclusion guard (see _l1_miss in the reference)
+            # SetAssocCache.insert + _handle_l1_eviction, fused
+            ol = dOR[core][addr % D_NSETS]
+            sl1 = ol[-1]
+            A_ = dA[core]
+            V_ = dV[core]
+            D_ = dD[core]
+            P_ = dP[core]
+            mp = dMP[core]
+            if V_[sl1]:
+                old = A_[sl1]
+                old_dirty = D_[sl1]
+                old_pfu = P_[sl1]
+                del mp[old]
+                if VICTIM_DEPTH:
+                    vl = dVIC[core][old % D_NSETS]
+                    if old in vl:
+                        vl.remove(old)
+                    vl.insert(0, old)
+                    del vl[VICTIM_DEPTH:]
+                cd[6] += 1
+                if old_pfu:
+                    pf = PFD[core]
+                    pf.stats.useless += 1
+                    pf.adaptive.on_useless()
+                    tax.on_evicted_unused("l1d")
+                sl2 = l2mp_get(old)
+                if sl2 is not None:
+                    l2SH[sl2] &= ~(1 << core)
+                    if l2OW[sl2] == core:
+                        l2OW[sl2] = -1
+                    if old_dirty:
+                        l2D[sl2] = True
+                        cd[5] += 1
+                elif old_dirty:
+                    link_dat(now, VSEG[(old * 2654435761 >> 7) % VPOOL])
+                    cd[5] += 1
+            A_[sl1] = addr
+            V_[sl1] = True
+            dS[core][sl1] = MODIFIED if store else SHARED
+            D_[sl1] = store
+            P_[sl1] = False
+            dF[core][sl1] = now + total
+            mp[addr] = sl1
+            del ol[-1]
+            ol.insert(0, sl1)
+        if PF_ON:
+            kind = 2 if store else 1
+            for p in PFD[core].observe_miss(addr):
+                issue_l1_pf(core, kind, p, now)
+        return total
+
+    # ------------------------------------------------------------------
+    # the event loop (mirrors CMPSystem._run_events)
+    # ------------------------------------------------------------------
+
+    cores = system.cores
+    heap = [(core.time, i) for i, core in enumerate(cores)]
+    heapq.heapify(heap)
+    remaining = [events_per_core] * n
+    pop, replace = heapq.heappop, heapq.heapreplace
+    times = [core.time for core in cores]
+    cpi = [core.cpi_base for core in cores]
+    keep = [1.0 - core.tolerance for core in cores]
+    hide = [core.hide_cycles for core in cores]
+    instr = [0] * n
+    stall = [0.0] * n
+    ifetch = [0] * n
+    data = [0] * n
+    processed = 0
+    auditor = system.auditor
+    audit_every = auditor.interval if auditor is not None else 0
+    base_accesses = ci[0] + ci[1] + cd[0] + cd[1]
+
+    iGET = [mp.get for mp in iMP]
+    dGET = [mp.get for mp in dMP]
+    cursors = getattr(system, "_cursors", None)
+    CHUNKED = cursors is not None
+    if CHUNKED:
+        GL = [c.gaps for c in cursors]
+        KL = [c.kinds for c in cursors]
+        AL = [c.addrs for c in cursors]
+        PL = [c.pos for c in cursors]
+    else:
+        next_ev = [g.__next__ for g in system._generators]
+
+    try:
+        while heap:
+            idx = heap[0][1]
+            if CHUNKED:
+                pos = PL[idx]
+                G = GL[idx]
+                if pos >= len(G):
+                    cursors[idx].refill()
+                    pos = 0
+                gap = G[pos]
+                kind = KL[idx][pos]
+                addr = AL[idx][pos]
+                PL[idx] = pos + 1
+            else:
+                gap, kind, addr = next_ev[idx]()
+            t = times[idx]
+            if gap:
+                t += gap * cpi[idx]
+                instr[idx] += gap
+
+            # -- MemoryHierarchy.access, inlined ------------------------
+            if TAP:
+                ops_append(("D", idx, kind, addr))
+            if kind == 0:
+                sl = iGET[idx](addr)
+                if sl is not None:
+                    P_ = iP[idx]
+                    latency = 0.0
+                    l1_hit = True
+                    ft = iF[idx][sl]
+                    if ft > t:
+                        latency = ft - t
+                        l1_hit = False
+                        if P_[sl]:
+                            ci[2] += 1  # partial_hits
+                            pf = PFI[idx]
+                            pf.stats.useful += 1
+                            pf.adaptive.on_useful()
+                            tax.on_used("l1i")
+                            P_[sl] = False
+                    elif P_[sl]:
+                        ci[3] += 1  # prefetch_hits
+                        pf = PFI[idx]
+                        pf.stats.useful += 1
+                        pf.adaptive.on_useful()
+                        tax.on_used("l1i")
+                        P_[sl] = False
+                    ci[0] += 1  # demand_hits
+                    ol = iOR[idx][addr % I_NSETS]
+                    if ol[0] != sl:
+                        ol.remove(sl)
+                        ol.insert(0, sl)
+                    if PF_ON and (not STRIDE or addr in iSTR[idx]):
+                        for p in PFI[idx].observe_hit(addr):
+                            issue_l1_pf(idx, 0, p, t)
+                    # no store path on the instruction side (kind == 0)
+                else:
+                    latency = l1_miss_i(idx, addr, t)
+                    l1_hit = False
+                # LatencyHistogram.record; skipping ``total += 0.0`` is a
+                # bit-exact no-op (total starts at 0.0 and stays >= 0.0),
+                # so the common zero-latency hit skips the float work.
+                if latency == 0.0:
+                    hbi[0] += 1
+                    hci[0] += 1
+                else:
+                    bucket = int(latency).bit_length()
+                    if bucket > 24:
+                        bucket = 24
+                    hbi[bucket] += 1
+                    hci[0] += 1
+                    hci[1] += latency
+                ifetch[idx] += 1
+            else:
+                sl = dGET[idx](addr)
+                if sl is not None:
+                    P_ = dP[idx]
+                    latency = 0.0
+                    l1_hit = True
+                    ft = dF[idx][sl]
+                    if ft > t:
+                        latency = ft - t
+                        l1_hit = False
+                        if P_[sl]:
+                            cd[2] += 1
+                            pf = PFD[idx]
+                            pf.stats.useful += 1
+                            pf.adaptive.on_useful()
+                            tax.on_used("l1d")
+                            P_[sl] = False
+                    elif P_[sl]:
+                        cd[3] += 1
+                        pf = PFD[idx]
+                        pf.stats.useful += 1
+                        pf.adaptive.on_useful()
+                        tax.on_used("l1d")
+                        P_[sl] = False
+                    cd[0] += 1
+                    ol = dOR[idx][addr % D_NSETS]
+                    if ol[0] != sl:
+                        ol.remove(sl)
+                        ol.insert(0, sl)
+                    if PF_ON and (not STRIDE or addr in dSTR[idx]):
+                        for p in PFD[idx].observe_hit(addr):
+                            issue_l1_pf(idx, kind, p, t)
+                    if kind == 2 and dV[idx][sl] and dA[idx][sl] == addr:
+                        # store-through guard: re-check the original frame
+                        # (a prefetch above may have back-invalidated it)
+                        if dS[idx][sl] == SHARED:
+                            latency += upgrade(idx, addr)
+                            dS[idx][sl] = MODIFIED
+                            cd[7] += 1  # upgrades
+                        dD[idx][sl] = True
+                else:
+                    latency = l1_miss_d(idx, addr, t, kind == 2)
+                    l1_hit = False
+                if latency == 0.0:
+                    hbd[0] += 1
+                    hcd[0] += 1
+                else:
+                    bucket = int(latency).bit_length()
+                    if bucket > 24:
+                        bucket = 24
+                    hbd[bucket] += 1
+                    hcd[0] += 1
+                    hcd[1] += latency
+                data[idx] += 1
+            # -- core timing model, as in CMPSystem._run_events ---------
+            if not l1_hit and latency > 0.0:
+                over = latency - hide[idx]
+                if over > 0.0:
+                    s = over * keep[idx]
+                    t += s
+                    stall[idx] += s
+            times[idx] = t
+            processed += 1
+            remaining[idx] -= 1
+            if remaining[idx] > 0:
+                replace(heap, (t, idx))
+            else:
+                pop(heap)
+            if audit_every and not processed % audit_every:
+                sync()
+                auditor.check(expected_l1_accesses=base_accesses + processed)
+        if audit_every:
+            sync()
+            auditor.check(expected_l1_accesses=base_accesses + processed)
+    finally:
+        if CHUNKED:
+            for i, cur in enumerate(cursors):
+                cur.pos = PL[i]
+    sync()
+    system._events_processed += processed
+    for i, core in enumerate(cores):
+        core.time = times[i]
+        st = core.stats
+        st.instructions += instr[i]
+        st.memory_stall_cycles += stall[i]
+        st.ifetch_accesses += ifetch[i]
+        st.data_accesses += data[i]
+        st.cycles = times[i] - core.start_time
+    return True

@@ -9,9 +9,11 @@ from __future__ import annotations
 
 import gc
 import heapq
+import os
 import time
 from typing import List, Optional, Union
 
+from repro.core import fastsim as _fastsim
 from repro.core.hierarchy import MemoryHierarchy
 from repro.core.results import SimulationResult
 from repro.cpu.core import CoreTimingModel
@@ -51,16 +53,26 @@ class CMPSystem:
         else:
             self.spec = get_spec(workload) if isinstance(workload, str) else workload
         self.seed = seed
+        # Engine selection: the env var wins over the config field so an
+        # existing suite can be re-run under the fast kernel unchanged
+        # (``REPRO_ENGINE=fast pytest ...``).  Both engines are
+        # bit-identical by contract; see repro.core.fastsim.
+        env_engine = os.environ.get("REPRO_ENGINE", "")
+        engine = env_engine if env_engine else config.engine
+        if engine not in ("ref", "fast"):
+            raise ValueError(f"unknown engine {engine!r} (expected 'ref' or 'fast')")
+        self.engine = engine
         self.values = ValueModel(self.spec.value_mix, seed=seed, scheme=config.l2.scheme)
         self.hierarchy = MemoryHierarchy(config, self.values)
         self.cores: List[CoreTimingModel] = [
             CoreTimingModel(i, cpi_base=self.spec.cpi_base, tolerance=self.spec.tolerance)
             for i in range(config.n_cores)
         ]
+        self._cursors: Optional[List[_fastsim.ChunkCursor]] = None
         if trace is not None:
             self._generators = [trace.iterator(i) for i in range(config.n_cores)]
         else:
-            self._generators = [
+            gens = [
                 TraceGenerator(
                     self.spec,
                     core_id=i,
@@ -68,9 +80,19 @@ class CMPSystem:
                     l2_lines=config.l2.n_lines,
                     l1i_lines=config.l1i.n_lines,
                     seed=seed,
-                ).events()
+                )
                 for i in range(config.n_cores)
             ]
+            if engine == "fast":
+                # Chunked event generation for the fast kernel.  The
+                # reference loop, if it ever runs on this system (kernel
+                # fallback), consumes the same cursors via the iterator
+                # adapter, so the generator RNG streams are drawn exactly
+                # once either way.
+                self._cursors = [_fastsim.ChunkCursor(g) for g in gens]
+                self._generators = [c.events() for c in self._cursors]
+            else:
+                self._generators = [g.events() for g in gens]
         self._events_processed = 0
         # Opt-in invariant auditing (repro.obs.audit).  When off, the hot
         # loop's only extra cost is one falsy-int test per event.
@@ -175,6 +197,20 @@ class CMPSystem:
         return result
 
     def _run_events(self, events_per_core: int) -> None:
+        # Engine dispatch.  The fast kernel does not support the
+        # read-only observability layers (tracer/metrics sampler) — those
+        # runs, and runs with unknown method wrappers on the hierarchy,
+        # fall through to the reference loop.
+        if (
+            self.engine == "fast"
+            and self.tracer is None
+            and self.sampler is None
+            and _fastsim.run_events(self, events_per_core)
+        ):
+            return
+        self._run_events_ref(events_per_core)
+
+    def _run_events_ref(self, events_per_core: int) -> None:
         # Hot loop: the core timing model (advance_compute /
         # apply_memory_latency) is inlined here with per-core state held
         # in locals, and written back once at the end.  The arithmetic is

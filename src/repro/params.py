@@ -192,12 +192,22 @@ class SystemConfig:
     trace: bool = False
     metrics: bool = False
     metrics_interval: int = 5000
+    # Simulation engine: ``"ref"`` is the object-per-line reference
+    # engine (core.hierarchy driven by core.system's event loop);
+    # ``"fast"`` selects the flat-array kernel (repro.core.fastsim),
+    # which is bit-identical by contract (oracle-, golden- and
+    # fuzz-proven).  ``REPRO_ENGINE`` overrides this field.
+    engine: str = "ref"
 
     def __post_init__(self) -> None:
         if self.audit_interval <= 0:
             raise ValueError("audit_interval must be positive")
         if self.metrics_interval <= 0:
             raise ValueError("metrics_interval must be positive")
+        if self.engine not in ("ref", "fast"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} (expected 'ref' or 'fast')"
+            )
 
     @property
     def cache_compression(self) -> bool:
@@ -294,4 +304,5 @@ def config_from_dict(data: dict) -> SystemConfig:
         trace=data.get("trace", False),
         metrics=data.get("metrics", False),
         metrics_interval=data.get("metrics_interval", 5000),
+        engine=data.get("engine", "ref"),
     )

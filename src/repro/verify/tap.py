@@ -103,6 +103,12 @@ class OpTap:
         h._issue_l1_prefetch = issue_l1_prefetch
         h._issue_l2_prefetch = issue_l2_prefetch
         h.reset_stats = reset_stats
+        # Marker for the fast engine (repro.core.fastsim): it bypasses
+        # the wrapped methods, so it detects this tap via ``_tap_ops``
+        # and appends equivalent records to the same list natively.  An
+        # unknown wrapper (no marker) makes it fall back to the
+        # reference loop instead.
+        h._tap_ops = ops
         self._installed = True
         return self
 
@@ -110,7 +116,10 @@ class OpTap:
         if not self._installed:
             return
         h = self.hierarchy
-        for name in ("access", "_issue_l1_prefetch", "_issue_l2_prefetch", "reset_stats"):
+        for name in (
+            "access", "_issue_l1_prefetch", "_issue_l2_prefetch", "reset_stats",
+            "_tap_ops",
+        ):
             try:
                 delattr(h, name)
             except AttributeError:

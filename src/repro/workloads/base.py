@@ -145,6 +145,9 @@ class TraceGenerator:
         self._stride_choices = [s for s, _ in spec.stream_strides]
         self._stride_weights = [w for _, w in spec.stream_strides]
         self._streams = [self._seed_stream(_StreamState()) for _ in range(spec.streams_per_core)]
+        # Events drawn but not yet emitted by fill_chunk (a chunk boundary
+        # can land mid-way through a step's pending instruction fetches).
+        self._chunk_pending: List[Tuple[int, int, int]] = []
 
     # -- public -------------------------------------------------------------
 
@@ -213,6 +216,99 @@ class TraceGenerator:
                 addr = private_base + int(private_lines * (random_() ** locality))
             kind = STORE if random_() < store_fraction else LOAD
             yield (gap, kind, addr)
+
+    def fill_chunk(
+        self,
+        gaps: List[int],
+        kinds: List[int],
+        addrs: List[int],
+        n: int,
+    ) -> None:
+        """Append exactly ``n`` events to three parallel lists.
+
+        This is the fast engine's vectorized event source: one call
+        amortises the spec/RNG local binding over thousands of events and
+        hands the kernel plain lists instead of a generator to resume per
+        event.  The loop body, the RNG call sequence, and the emission
+        order (each step's data event first, then its pending instruction
+        fetches in LIFO order) are identical to :meth:`events` — the
+        engine-equivalence suite pins this bit-exactly.
+
+        Unlike :meth:`events`, the PC-walk state is persisted back to the
+        instance (and a chunk boundary mid-step parks the unemitted
+        fetches in ``_chunk_pending``), so one generator must be consumed
+        *either* through ``events()`` *or* through ``fill_chunk`` — never
+        both; the two would share the RNG but not the walk state.
+        """
+        rng = self.rng
+        spec = self.spec
+        random_ = rng.random
+        expovariate = rng.expovariate
+        jump_prob = spec.i_jump_prob
+        i_locality = spec.i_locality
+        store_fraction = spec.store_fraction
+        i_lines = self.i_lines
+        mean = spec.instr_per_event
+        rate = 1.0 / mean if mean > 1 else 0.0
+        stride_fraction = spec.stride_fraction
+        stride_or_hot = spec.stride_fraction + spec.hot_fraction
+        shared_fraction = spec.shared_fraction
+        locality = spec.locality
+        shared_lines = self.shared_lines
+        private_lines = self.private_lines
+        private_base = self.private_base
+        hot_lines = self.hot_lines
+        randrange = rng.randrange
+        stream_address = self._stream_address
+        pc_line = self._pc_line
+        instr_into_line = self._instr_into_line
+        pending = self._chunk_pending
+        append = pending.append
+        pop = pending.pop
+        g_app = gaps.append
+        k_app = kinds.append
+        a_app = addrs.append
+        count = 0
+        while pending and count < n:
+            pg, pk, pa = pop()
+            g_app(pg)
+            k_app(pk)
+            a_app(pa)
+            count += 1
+        while count < n:
+            gap = 1 + int(expovariate(rate)) if rate else 1
+            if random_() < jump_prob:
+                pc_line = int(i_lines * (random_() ** i_locality))
+                instr_into_line = 0
+                append((0, IFETCH, _I_BASE + pc_line))
+            instr_into_line += gap
+            crossed = instr_into_line // _INSTR_PER_LINE
+            if crossed:
+                instr_into_line %= _INSTR_PER_LINE
+                for i in range(min(crossed, 2)):
+                    pc_line = (pc_line + 1) % i_lines
+                    append((0, IFETCH, _I_BASE + pc_line))
+            r = random_()
+            if r < stride_fraction:
+                addr = stream_address()
+            elif r < stride_or_hot:
+                addr = private_base + randrange(hot_lines)
+            elif random_() < shared_fraction:
+                addr = _SHARED_BASE + int(shared_lines * (random_() ** locality))
+            else:
+                addr = private_base + int(private_lines * (random_() ** locality))
+            g_app(gap)
+            k_app(STORE if random_() < store_fraction else LOAD)
+            a_app(addr)
+            count += 1
+            while pending and count < n:
+                pg, pk, pa = pop()
+                g_app(pg)
+                k_app(pk)
+                a_app(pa)
+                count += 1
+        self._pc_line = pc_line
+        self._instr_into_line = instr_into_line
 
     # -- internals ------------------------------------------------------------
 

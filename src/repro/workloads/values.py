@@ -17,8 +17,8 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Sequence, Tuple
 
-from repro.compression.fpc import WORDS_PER_LINE
-from repro.compression.segments import segments_for_line
+from repro.compression.fpc import WORDS_PER_LINE, sizes_for
+from repro.compression.segments import segments_for_size
 
 _WordGen = Callable[[random.Random], List[int]]
 _MASK32 = 0xFFFFFFFF
@@ -146,7 +146,11 @@ class ValueModel:
             name = rng.choices(classes, weights=weights)[0]
             self._lines.append(VALUE_CLASSES[name](rng))
         if scheme == "fpc":
-            self._segments = [segments_for_line(w) for w in self._lines]
+            # Batched FPC sizing: one pass over the pool with per-word
+            # classification memoised (repro.compression.fpc.sizes_for).
+            self._segments = [
+                segments_for_size(b) for b in sizes_for(self._lines)
+            ]
         else:
             from repro.compression.schemes import build_scheme
 
