@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 from repro.cache.line import MSIState, TagEntry
 from repro.cache.lru import touch
+from repro.cache.plru import plru_touch, plru_victim
 from repro.cache.set_assoc import Eviction
 from repro.params import L2Config, SEGMENTS_PER_LINE
 
@@ -38,13 +39,20 @@ class _Set:
     def __init__(self, tags: int) -> None:
         self.valid_stack: List[TagEntry] = []  # MRU first
         # Most-recently-evicted first; entries here are invalid tags whose
-        # ``addr`` is the victim address.
-        self.victim_stack: List[TagEntry] = [TagEntry() for _ in range(tags)]
+        # ``addr`` is the victim address.  Each tag keeps the fixed way it
+        # was built in (tree-PLRU victim selection needs it).
+        self.victim_stack: List[TagEntry] = [TagEntry(way) for way in range(tags)]
         self.used_segments = 0
 
 
 class CompressedSetCache:
-    """The shared L2: banked, inclusive, optionally compressed."""
+    """The shared L2: banked, inclusive, optionally compressed.
+
+    With ``replacement="plru"`` the eviction loop picks the tree-PLRU
+    victim among the set's *valid* tags instead of the recency-stack
+    tail; recency stacks, victim-tag recycling order (oldest victim tag
+    claimed first) and every other structure are maintained identically.
+    """
 
     __slots__ = (
         "config",
@@ -55,6 +63,7 @@ class CompressedSetCache:
         "_sets",
         "_map",
         "_valid_count",
+        "_plru",
     )
 
     def __init__(self, config: L2Config) -> None:
@@ -66,6 +75,11 @@ class CompressedSetCache:
         self._sets = [_Set(config.tags_per_set) for _ in range(self.n_sets)]
         self._map: Dict[int, TagEntry] = {}
         self._valid_count = 0
+        # Packed tree direction bits per set; aliased in place by the
+        # fast engine.  None in LRU mode.
+        self._plru: Optional[List[int]] = (
+            [0] * self.n_sets if config.replacement == "plru" else None
+        )
 
     # -- geometry ----------------------------------------------------------
 
@@ -89,6 +103,9 @@ class CompressedSetCache:
         if entry is None or not entry.valid:
             raise KeyError(f"line {line_addr:#x} not resident")
         touch(self._sets[line_addr % self.n_sets].valid_stack, entry)
+        if self._plru is not None:
+            si = line_addr % self.n_sets
+            self._plru[si] = plru_touch(self._plru[si], entry.way, self.tags_per_set)
 
     def touch_entry(self, entry: TagEntry) -> None:
         """Promote an already-probed entry to MRU without re-probing."""
@@ -96,6 +113,9 @@ class CompressedSetCache:
         if stack[0] is not entry:
             stack.remove(entry)
             stack.insert(0, entry)
+        if self._plru is not None:
+            si = entry.addr % self.n_sets
+            self._plru[si] = plru_touch(self._plru[si], entry.way, self.tags_per_set)
 
     def stack_depth(self, line_addr: int) -> int:
         """0-based LRU stack position of a resident line (0 = MRU)."""
@@ -148,9 +168,13 @@ class CompressedSetCache:
             raise ValueError(f"segment count out of range: {segments}")
 
         cset = self._sets[line_addr % self.n_sets]
+        plru = self._plru
         evictions: List[Eviction] = []
         while cset.used_segments + segments > self.total_segments or not cset.victim_stack:
-            evictions.append(self._evict_lru(cset))
+            if plru is None:
+                evictions.append(self._evict_lru(cset))
+            else:
+                evictions.append(self._evict_plru(cset, line_addr % self.n_sets))
 
         # Claim the *oldest* victim tag so fresher victim addresses survive.
         entry = cset.victim_stack.pop()
@@ -167,6 +191,9 @@ class CompressedSetCache:
         cset.used_segments += segments
         self._map[line_addr] = entry
         self._valid_count += 1
+        if plru is not None:
+            si = line_addr % self.n_sets
+            plru[si] = plru_touch(plru[si], entry.way, self.tags_per_set)
         return evictions
 
     def invalidate(self, line_addr: int) -> Optional[Eviction]:
@@ -194,7 +221,10 @@ class CompressedSetCache:
         evictions: List[Eviction] = []
         delta = new_segments - entry.segments
         while delta > 0 and cset.used_segments + delta > self.total_segments:
-            victim = self._lru_other(cset, entry)
+            if self._plru is None:
+                victim = self._lru_other(cset, entry)
+            else:
+                victim = self._plru_other(cset, entry, self.set_index(line_addr))
             if victim is None:  # only this line left; cannot overflow (<=8 segs)
                 break
             cset.valid_stack.remove(victim)
@@ -311,6 +341,25 @@ class CompressedSetCache:
                 "_map keys disagree with the resident lines",
                 {"map": len(self._map), "resident": len(valid_addrs)},
             ))
+        for index, cset in enumerate(self._sets):
+            ways = sorted(
+                e.way for e in cset.valid_stack + cset.victim_stack
+            )
+            if ways != list(range(self.tags_per_set)):
+                problems.append((
+                    "l2.way_partition",
+                    "set's tags do not cover ways 0..tags_per_set-1 exactly once",
+                    {"set": index, "ways": ways},
+                ))
+        if self._plru is not None:
+            limit = 1 << (self.tags_per_set - 1)
+            for index, bits in enumerate(self._plru):
+                if not 0 <= bits < limit:
+                    problems.append((
+                        "l2.plru_bits",
+                        "tree bits outside the tags_per_set-1 bit range",
+                        {"set": index, "bits": bits, "tags": self.tags_per_set},
+                    ))
         return problems
 
     # -- internals ----------------------------------------------------------
@@ -320,6 +369,34 @@ class CompressedSetCache:
             raise RuntimeError("eviction requested from an empty set")
         entry = cset.valid_stack.pop()
         return self._retire(cset, entry)
+
+    def _evict_plru(self, cset: _Set, si: int) -> Eviction:
+        """Evict the tree-PLRU victim among the set's valid tags."""
+        if not cset.valid_stack:
+            raise RuntimeError("eviction requested from an empty set")
+        mask = 0
+        for e in cset.valid_stack:
+            mask |= 1 << e.way
+        way = plru_victim(self._plru[si], self.tags_per_set, mask)
+        for entry in cset.valid_stack:
+            if entry.way == way:
+                cset.valid_stack.remove(entry)
+                return self._retire(cset, entry)
+        raise RuntimeError("plru victim way not on the valid stack")
+
+    def _plru_other(self, cset: _Set, keep: TagEntry, si: int) -> Optional[TagEntry]:
+        """Tree-PLRU victim among the valid tags, excluding ``keep``."""
+        mask = 0
+        for e in cset.valid_stack:
+            if e is not keep:
+                mask |= 1 << e.way
+        if not mask:
+            return None
+        way = plru_victim(self._plru[si], self.tags_per_set, mask)
+        for entry in cset.valid_stack:
+            if entry.way == way:
+                return entry
+        return None
 
     def _retire(self, cset: _Set, entry: TagEntry) -> Eviction:
         eviction = Eviction(

@@ -24,6 +24,11 @@ class TagEntry:
     lines are inserted into the tag array at issue time, so a demand hit
     before ``fill_time`` is a *partial hit* that waits for the in-flight
     fill.
+
+    ``way`` is the entry's fixed physical position within its set,
+    assigned at construction and never changed: the recency stacks
+    reorder freely, but tree-PLRU replacement (:mod:`repro.cache.plru`)
+    needs a stable way index per tag.
     """
 
     __slots__ = (
@@ -36,9 +41,11 @@ class TagEntry:
         "fill_time",
         "sharers",
         "owner",
+        "way",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, way: int = 0) -> None:
+        self.way: int = way
         self.addr: int = -1
         self.valid: bool = False
         self.state: int = MSIState.INVALID

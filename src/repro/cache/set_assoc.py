@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.cache.line import MSIState, TagEntry
 from repro.cache.lru import touch
+from repro.cache.plru import plru_touch, plru_victim
 from repro.params import CacheConfig
 
 
@@ -30,9 +31,19 @@ class Eviction:
 
 
 class SetAssocCache:
-    """LRU set-associative cache addressed by *line* address."""
+    """LRU (or tree-PLRU) set-associative cache addressed by *line* address.
 
-    __slots__ = ("config", "n_sets", "assoc", "victim_depth", "_sets", "_map", "_victims")
+    The per-set recency stack is maintained identically in both modes —
+    ``set_has_prefetched_line``, stack-depth probes and the state
+    comparisons in the differential oracle all read it — PLRU changes
+    only *which frame an insertion claims* (tree bits instead of the
+    stack tail) and adds tree-bit updates on touch/insert.
+    """
+
+    __slots__ = (
+        "config", "n_sets", "assoc", "victim_depth", "_sets", "_map",
+        "_victims", "_plru", "_frames",
+    )
 
     def __init__(self, config: CacheConfig, victim_depth: int = 0) -> None:
         self.config = config
@@ -40,11 +51,23 @@ class SetAssocCache:
         self.assoc = config.assoc
         self.victim_depth = victim_depth
         self._sets: List[List[TagEntry]] = [
-            [TagEntry() for _ in range(config.assoc)] for _ in range(self.n_sets)
+            [TagEntry(way) for way in range(config.assoc)] for _ in range(self.n_sets)
         ]
         self._map: Dict[int, TagEntry] = {}
         # Per-set MRU-first list of recently evicted line addresses.
         self._victims: List[List[int]] = [[] for _ in range(self.n_sets)]
+        if config.replacement == "plru":
+            # One packed int of tree direction bits per set, plus a fixed
+            # way -> frame index (the stacks reorder; the tree needs the
+            # physical position).  The bits list is aliased in place by
+            # the fast engine, so it never needs syncing.
+            self._plru: Optional[List[int]] = [0] * self.n_sets
+            self._frames: Optional[List[List[TagEntry]]] = [
+                list(stack) for stack in self._sets
+            ]
+        else:
+            self._plru = None
+            self._frames = None
 
     def set_index(self, line_addr: int) -> int:
         return line_addr % self.n_sets
@@ -62,6 +85,9 @@ class SetAssocCache:
         if entry is None or not entry.valid:
             raise KeyError(f"line {line_addr:#x} not resident")
         touch(self._sets[line_addr % self.n_sets], entry)
+        if self._plru is not None:
+            si = line_addr % self.n_sets
+            self._plru[si] = plru_touch(self._plru[si], entry.way, self.assoc)
 
     def touch_entry(self, entry: TagEntry) -> None:
         """Promote an already-probed entry to MRU (hot-path variant that
@@ -70,6 +96,9 @@ class SetAssocCache:
         if stack[0] is not entry:
             stack.remove(entry)
             stack.insert(0, entry)
+        if self._plru is not None:
+            si = entry.addr % self.n_sets
+            self._plru[si] = plru_touch(self._plru[si], entry.way, self.assoc)
 
     def insert(
         self,
@@ -84,10 +113,27 @@ class SetAssocCache:
         if resident is not None and resident.valid:
             raise ValueError(f"line {line_addr:#x} already resident")
         stack = self._sets[line_addr % self.n_sets]
-        # Invalid entries are kept at the stack tail (see invalidate), so
-        # the last slot is either a free frame or the true LRU line; no
-        # free-frame scan is needed.
-        entry = stack[-1]
+        if self._plru is None:
+            # Invalid entries are kept at the stack tail (see invalidate),
+            # so the last slot is either a free frame or the true LRU
+            # line; no free-frame scan is needed.
+            entry = stack[-1]
+        else:
+            # Tree-PLRU: fill an invalid frame first (walking the tree
+            # over the invalid ways keeps the choice deterministic), else
+            # evict the tree's victim among the valid ways.
+            si = line_addr % self.n_sets
+            invalid_mask = 0
+            valid_mask = 0
+            for e in stack:
+                if e.valid:
+                    valid_mask |= 1 << e.way
+                else:
+                    invalid_mask |= 1 << e.way
+            way = plru_victim(
+                self._plru[si], self.assoc, invalid_mask or valid_mask
+            )
+            entry = self._frames[si][way]
         eviction = None
         if entry.valid:
             # SetAssocCache._evict, inlined (the field resets are folded
@@ -110,7 +156,12 @@ class SetAssocCache:
         entry.prefetch_bit = prefetch
         entry.fill_time = fill_time
         self._map[line_addr] = entry
-        del stack[-1]
+        if self._plru is None:
+            del stack[-1]
+        else:
+            stack.remove(entry)
+            si = line_addr % self.n_sets
+            self._plru[si] = plru_touch(self._plru[si], entry.way, self.assoc)
         stack.insert(0, entry)
         return eviction
 
@@ -212,6 +263,23 @@ class SetAssocCache:
                     "victim list exceeds its configured depth",
                     {"set": index, "len": len(victims), "depth": self.victim_depth},
                 ))
+        if self._plru is not None:
+            limit = 1 << (self.assoc - 1)
+            for index, bits in enumerate(self._plru):
+                if not 0 <= bits < limit:
+                    problems.append((
+                        "set_assoc.plru_bits",
+                        "tree bits outside the assoc-1 bit range",
+                        {"set": index, "bits": bits, "assoc": self.assoc},
+                    ))
+            for index, frames in enumerate(self._frames):
+                for way, entry in enumerate(frames):
+                    if entry.way != way or entry not in self._sets[index]:
+                        problems.append((
+                            "set_assoc.plru_frames",
+                            "way->frame table disagrees with the set",
+                            {"set": index, "way": way},
+                        ))
         return problems
 
     def _evict(self, entry: TagEntry) -> Eviction:

@@ -39,6 +39,14 @@ prefetch-issue and stream-buffer paths; when editing one copy of the
 shared logic, edit both (the engine-equivalence suite will catch a
 divergence, but only after the fact).
 
+The fused specializations additionally assume the *default* miss-handling
+model (legacy DRAM slot gate, unbuffered write-backs, LRU replacement).
+When any miss-handling realism knob is on — ``mshr_entries``,
+``writeback_buffer`` or PLRU replacement — demand misses are routed
+through ``l1_miss_gen``, a general-closure transcription of
+``_l1_miss``: the knobs stay bit-identical to the reference engine while
+the default configuration keeps its untouched fused hot path.
+
 **New features land in the reference engine first.**  This file is a
 mirror, not a place to change behaviour: any semantic change starts in
 :mod:`repro.core.hierarchy`, gets locked by the oracle/golden/fuzz
@@ -58,6 +66,7 @@ import heapq
 from typing import List
 
 from repro.cache.line import MSIState
+from repro.cache.plru import plru_touch, plru_victim
 from repro.core.hierarchy import _BANK_OCCUPANCY, _INTERVENTION_COST, _SAMPLE_EVERY
 from repro.interconnect.link import PinLink
 from repro.params import SEGMENTS_PER_LINE
@@ -164,6 +173,10 @@ def run_events(system, events_per_core: int) -> bool:
     dram_can = dram.can_issue
     dram_demand = dram.issue_demand
     dram_pref = dram.issue_prefetch
+    dram_service = dram.service
+    mshr = h.mshr
+    MSHR = mshr is not None
+    wb = h.wb
     noc_transfer = h.noc.transfer_line
     VSEG = h.values._segments
     VPOOL = h.values.pool_size
@@ -220,6 +233,17 @@ def run_events(system, events_per_core: int) -> bool:
         LK[6] += start - ready
         return start + duration
 
+    # MemoryHierarchy._send_writeback: dirty evictions go through the
+    # bounded write-back buffer when one is configured.  (The fused miss
+    # paths call link_dat directly — they only run with the buffer off.)
+    if wb is None:
+        send_wb = link_dat
+    else:
+        wb_insert = wb.insert
+
+        def send_wb(ready, segments):
+            wb_insert(ready, segments, link_dat)
+
     # ---- per-level counters (CacheStats field order; absolute values)
     # indices: 0 demand_hits, 1 demand_misses, 2 partial_hits,
     # 3 prefetch_hits, 4 compressed_hits, 5 writebacks, 6 evictions,
@@ -250,53 +274,74 @@ def run_events(system, events_per_core: int) -> bool:
     # ``MP[core]`` maps resident line address -> slot.
     def _build_l1(caches):
         MP = []; A = []; V = []; S = []; D = []; P = []; F = []; OR_ = []; ENT = []
+        W = []; FR = []
         for cache in caches:
-            a = []; v = []; s = []; d = []; p = []; f = []; ent = []
-            order = []; mp = {}
+            a = []; v = []; s = []; d = []; p = []; f = []; ent = []; w = []
+            order = []; frames = []; mp = {}
             slot = 0
             for stack in cache._sets:
                 ol = []
+                fl = [0] * cache.assoc
                 for e in stack:
                     a.append(e.addr); v.append(e.valid); s.append(e.state)
                     d.append(e.dirty); p.append(e.prefetch_bit)
                     f.append(e.fill_time); ent.append(e)
+                    w.append(e.way)
+                    fl[e.way] = slot
                     if e.valid:
                         mp[e.addr] = slot
                     ol.append(slot)
                     slot += 1
                 order.append(ol)
+                frames.append(fl)
             MP.append(mp); A.append(a); V.append(v); S.append(s); D.append(d)
             P.append(p); F.append(f); OR_.append(order); ENT.append(ent)
-        return MP, A, V, S, D, P, F, OR_, ENT
+            W.append(w); FR.append(frames)
+        return MP, A, V, S, D, P, F, OR_, ENT, W, FR
 
-    iMP, iA, iV, iS, iD, iP, iF, iOR, iENT = _build_l1(h.l1i)
-    dMP, dA, dV, dS, dD, dP, dF, dOR, dENT = _build_l1(h.l1d)
+    iMP, iA, iV, iS, iD, iP, iF, iOR, iENT, iW, iFR = _build_l1(h.l1i)
+    dMP, dA, dV, dS, dD, dP, dF, dOR, dENT, dW, dFR = _build_l1(h.l1d)
     # Victim-tag address lists are plain per-set lists of ints: alias and
     # mutate them in place, so they never need syncing.
     iVIC = [cache._victims for cache in h.l1i]
     dVIC = [cache._victims for cache in h.l1d]
+    # Tree-PLRU direction bits are plain per-set int lists: aliased and
+    # mutated in place like the victim lists (None in LRU mode).  ``way``
+    # assignments are fixed, so the way/frame tables never need syncing.
+    iPL = [cache._plru for cache in h.l1i]
+    dPL = [cache._plru for cache in h.l1d]
+    PLRU_I = iPL[0] is not None
+    PLRU_D = dPL[0] is not None
+    I_ASSOC = h.l1i[0].assoc
+    D_ASSOC = h.l1d[0].assoc
 
     # ---- flat L2 state: one slot per tag (valid or victim); per-set
     # MRU-first valid-slot lists and most-recent-first victim-slot lists
     # mirror ``_Set.valid_stack`` / ``_Set.victim_stack``.
     l2obj = h.l2
-    N2 = L2_NSETS * l2obj.tags_per_set
+    L2_TAGS = l2obj.tags_per_set
+    N2 = L2_NSETS * L2_TAGS
     l2A = [0] * N2; l2V = [False] * N2; l2S = [0] * N2; l2D = [False] * N2
     l2P = [False] * N2; l2SEG = [8] * N2; l2F = [0.0] * N2
     l2SH = [0] * N2; l2OW = [-1] * N2
+    l2W = [0] * N2
     ENT2 = [None] * N2
     l2vs: List[List[int]] = []
     l2vic: List[List[int]] = []
+    l2FR: List[List[int]] = []
     l2used: List[int] = []
     l2mp = {}
     slot = 0
     for cset in l2obj._sets:
+        fl = [0] * L2_TAGS
         vs = []
         for e in cset.valid_stack:
             l2A[slot] = e.addr; l2V[slot] = True; l2S[slot] = e.state
             l2D[slot] = e.dirty; l2P[slot] = e.prefetch_bit
             l2SEG[slot] = e.segments; l2F[slot] = e.fill_time
             l2SH[slot] = e.sharers; l2OW[slot] = e.owner
+            l2W[slot] = e.way
+            fl[e.way] = slot
             ENT2[slot] = e
             l2mp[e.addr] = slot
             vs.append(slot)
@@ -304,13 +349,18 @@ def run_events(system, events_per_core: int) -> bool:
         vt = []
         for e in cset.victim_stack:
             l2A[slot] = e.addr; l2SEG[slot] = e.segments; l2F[slot] = e.fill_time
+            l2W[slot] = e.way
+            fl[e.way] = slot
             ENT2[slot] = e
             vt.append(slot)
             slot += 1
         l2vs.append(vs)
         l2vic.append(vt)
+        l2FR.append(fl)
         l2used.append(cset.used_segments)
     l2vc = [l2obj._valid_count]
+    l2PL = l2obj._plru  # aliased per-set tree bits (None in LRU mode)
+    PLRU_2 = l2PL is not None
 
     # ------------------------------------------------------------------
     # flat <-> object synchronisation
@@ -437,9 +487,24 @@ def run_events(system, events_per_core: int) -> bool:
     def l1_insert_i(core, addr, state, dirty, prefetch, fill_time):
         # SetAssocCache.insert: returns (addr, dirty, prefetch_untouched)
         # for the evicted line, or None.
-        ol = iOR[core][addr % I_NSETS]
-        sl = ol[-1]
+        si = addr % I_NSETS
+        ol = iOR[core][si]
         A_ = iA[core]; V_ = iV[core]; D_ = iD[core]; P_ = iP[core]
+        if PLRU_I:
+            # Tree-PLRU frame choice: invalid ways first, else the tree's
+            # victim among the valid ways (way -> slot is fixed at build).
+            W_ = iW[core]
+            im = 0
+            vm = 0
+            for s0 in ol:
+                if V_[s0]:
+                    vm |= 1 << W_[s0]
+                else:
+                    im |= 1 << W_[s0]
+            pl = iPL[core]
+            sl = iFR[core][si][plru_victim(pl[si], I_ASSOC, im or vm)]
+        else:
+            sl = ol[-1]
         mp = iMP[core]
         ev = None
         if V_[sl]:
@@ -459,14 +524,31 @@ def run_events(system, events_per_core: int) -> bool:
         P_[sl] = prefetch
         iF[core][sl] = fill_time
         mp[addr] = sl
-        del ol[-1]
+        if PLRU_I:
+            ol.remove(sl)
+            pl[si] = plru_touch(pl[si], W_[sl], I_ASSOC)
+        else:
+            del ol[-1]
         ol.insert(0, sl)
         return ev
 
     def l1_insert_d(core, addr, state, dirty, prefetch, fill_time):
-        ol = dOR[core][addr % D_NSETS]
-        sl = ol[-1]
+        si = addr % D_NSETS
+        ol = dOR[core][si]
         A_ = dA[core]; V_ = dV[core]; D_ = dD[core]; P_ = dP[core]
+        if PLRU_D:
+            W_ = dW[core]
+            im = 0
+            vm = 0
+            for s0 in ol:
+                if V_[s0]:
+                    vm |= 1 << W_[s0]
+                else:
+                    im |= 1 << W_[s0]
+            pl = dPL[core]
+            sl = dFR[core][si][plru_victim(pl[si], D_ASSOC, im or vm)]
+        else:
+            sl = ol[-1]
         mp = dMP[core]
         ev = None
         if V_[sl]:
@@ -486,7 +568,11 @@ def run_events(system, events_per_core: int) -> bool:
         P_[sl] = prefetch
         dF[core][sl] = fill_time
         mp[addr] = sl
-        del ol[-1]
+        if PLRU_D:
+            ol.remove(sl)
+            pl[si] = plru_touch(pl[si], W_[sl], D_ASSOC)
+        else:
+            del ol[-1]
         ol.insert(0, sl)
         return ev
 
@@ -508,7 +594,7 @@ def run_events(system, events_per_core: int) -> bool:
                 l2D[sl2] = True
                 cnt[5] += 1  # writebacks
         elif ev_dirty:
-            link_dat(now, VSEG[(ev_addr * 2654435761 >> 7) % VPOOL])
+            send_wb(now, VSEG[(ev_addr * 2654435761 >> 7) % VPOOL])
             cnt[5] += 1
 
     def inval_other(sl, addr, core):
@@ -604,7 +690,7 @@ def run_events(system, events_per_core: int) -> bool:
             core += 1
         if dirty:
             c2[5] += 1  # writebacks
-            link_dat(now, VSEG[(ev_addr * 2654435761 >> 7) % VPOOL])
+            send_wb(now, VSEG[(ev_addr * 2654435761 >> 7) % VPOOL])
 
     def fill_l2(core, addr, segments, now, fill_time, store, demand, prefetch,
                 from_l1):
@@ -625,8 +711,15 @@ def run_events(system, events_per_core: int) -> bool:
         vstack = l2vic[si]
         evs = None
         while l2used[si] + segments > TOTAL_SEGS or not vstack:
-            # _evict_lru + _retire, inlined.
-            sl = vs.pop()
+            # _evict_lru / _evict_plru + _retire, inlined.
+            if PLRU_2:
+                mask = 0
+                for s0 in vs:
+                    mask |= 1 << l2W[s0]
+                sl = l2FR[si][plru_victim(l2PL[si], L2_TAGS, mask)]
+                vs.remove(sl)
+            else:
+                sl = vs.pop()
             l2used[si] -= l2SEG[sl]
             del l2mp[l2A[sl]]
             l2vc[0] -= 1
@@ -656,15 +749,31 @@ def run_events(system, events_per_core: int) -> bool:
         l2used[si] += segments
         l2mp[addr] = sl
         l2vc[0] += 1
+        if PLRU_2:
+            l2PL[si] = plru_touch(l2PL[si], l2W[sl], L2_TAGS)
         if evs is not None:
             for ev_addr, ev_dirty, ev_pfu, ev_sh in evs:
                 handle_l2_ev(ev_addr, ev_dirty, ev_pfu, ev_sh, now)
 
     def fetch_line(core, addr, request_ready, demand):
         # MemoryHierarchy._fetch_line (ValueModel.segments_for inlined).
+        if MSHR:
+            rec = mshr.lookup(addr, request_ready)
+            if rec is not None:
+                mshr.coalesced += 1
+                if TAP:
+                    ops_append(("C", addr))
+                return rec
         segments = VSEG[(addr * 2654435761 >> 7) % VPOOL]
         if CP_ENABLED and not cp_should_compress():
             segments = SEGS8
+        if MSHR:
+            start = mshr.allocate(core, request_ready, demand)
+            request_done = link_req(start)
+            mem_done = dram_service(core, request_done, addr, demand)
+            data_done = link_dat(mem_done, segments)
+            mshr.commit(core, addr, data_done, segments)
+            return data_done, segments
         request_done = link_req(request_ready)
         if demand:
             mem_done = dram_demand(core, request_done, addr)
@@ -728,6 +837,8 @@ def run_events(system, events_per_core: int) -> bool:
             if vs[0] != sl:
                 vs.remove(sl)
                 vs.insert(0, sl)
+            if PLRU_2:
+                l2PL[si] = plru_touch(l2PL[si], l2W[sl], L2_TAGS)
             if store:
                 latency += inval_other(sl, addr, core)
                 l2SH[sl] = 1 << core  # Directory.set_owner
@@ -823,11 +934,19 @@ def run_events(system, events_per_core: int) -> bool:
             fill_lat = L1D_LAT; ins = l1_insert_d
         if addr in mp:
             return
-        if addr not in l2mp and not dram_can(core, now):
-            pf.stats.dropped += 1
-            if TAP:
-                rec[4] = "dropped"
-            return
+        if addr not in l2mp:
+            # _pf_fetch_gate: MSHR mode admits coalescible or allocatable
+            # prefetches; legacy mode checks the DRAM slot pool.
+            if MSHR:
+                gate = (mshr.lookup(addr, now) is not None
+                        or mshr.can_allocate(core, now))
+            else:
+                gate = dram_can(core, now)
+            if not gate:
+                pf.stats.dropped += 1
+                if TAP:
+                    rec[4] = "dropped"
+                return
         pf.stats.issued += 1
         if TAP:
             rec[4] = "issued"
@@ -849,7 +968,12 @@ def run_events(system, events_per_core: int) -> bool:
             return
         if SB is not None and SB[core].contains(addr):
             return
-        if not dram_can(core, now):
+        if MSHR:
+            gate = (mshr.lookup(addr, now) is not None
+                    or mshr.can_allocate(core, now))
+        else:
+            gate = dram_can(core, now)
+        if not gate:
             pf2_stats.dropped += 1
             if TAP:
                 rec[3] = "dropped"
@@ -1423,6 +1547,58 @@ def run_events(system, events_per_core: int) -> bool:
         return total
 
     # ------------------------------------------------------------------
+    # general demand-miss path: the fused specializations above assume
+    # the default miss-handling model (no MSHR file, unbuffered
+    # write-backs, LRU replacement).  When any realism knob is on,
+    # demand misses route through this direct transcription of
+    # MemoryHierarchy._l1_miss built on the general closures, shadowing
+    # the fused names — the default hot path stays byte-identical.
+    # ------------------------------------------------------------------
+
+    GENERAL = MSHR or wb is not None or PLRU_I or PLRU_D or PLRU_2
+    if GENERAL:
+        def l1_miss_gen(core, addr, now, store, kind):
+            if kind == 0:
+                cnt = ci; pf = PFI[core]; level = "l1i"; fill_lat = L1I_LAT
+                nsets = I_NSETS; VICx = iVIC; Vx = iV; Px = iP; ORx = iOR
+                ins = l1_insert_i
+            else:
+                cnt = cd; pf = PFD[core]; level = "l1d"; fill_lat = L1D_LAT
+                nsets = D_NSETS; VICx = dVIC; Vx = dV; Px = dP; ORx = dOR
+                ins = l1_insert_d
+            cnt[1] += 1  # demand_misses
+            if ADAPTIVE:
+                si = addr % nsets
+                if addr in VICx[core][si]:
+                    V_ = Vx[core]
+                    P_ = Px[core]
+                    for s0 in ORx[core][si]:
+                        if V_[s0] and P_[s0]:
+                            pf.stats.harmful += 1
+                            pf.adaptive.on_harmful()
+                            tax.on_victim_live(level)
+                            break
+            latency = l2_access(core, addr, now, store, True)
+            total = fill_lat + latency
+            if NOC_ON:
+                total = noc_transfer(core, now + total) - now
+            if addr in l2mp:  # inclusion guard (see _l1_miss)
+                ev = ins(core, addr, MODIFIED if store else SHARED, store,
+                         False, now + total)
+                if ev is not None:
+                    handle_l1_ev(core, ev, pf, cnt, level, now)
+            if PF_ON:
+                for p in pf.observe_miss(addr):
+                    issue_l1_pf(core, kind, p, now)
+            return total
+
+        def l1_miss_i(core, addr, now):
+            return l1_miss_gen(core, addr, now, False, 0)
+
+        def l1_miss_d(core, addr, now, store):
+            return l1_miss_gen(core, addr, now, store, 2 if store else 1)
+
+    # ------------------------------------------------------------------
     # the event loop (mirrors CMPSystem._run_events)
     # ------------------------------------------------------------------
 
@@ -1508,6 +1684,10 @@ def run_events(system, events_per_core: int) -> bool:
                     if ol[0] != sl:
                         ol.remove(sl)
                         ol.insert(0, sl)
+                    if PLRU_I:
+                        pl = iPL[idx]
+                        psi = addr % I_NSETS
+                        pl[psi] = plru_touch(pl[psi], iW[idx][sl], I_ASSOC)
                     if PF_ON and (not STRIDE or addr in iSTR[idx]):
                         for p in PFI[idx].observe_hit(addr):
                             issue_l1_pf(idx, 0, p, t)
@@ -1558,6 +1738,10 @@ def run_events(system, events_per_core: int) -> bool:
                     if ol[0] != sl:
                         ol.remove(sl)
                         ol.insert(0, sl)
+                    if PLRU_D:
+                        pl = dPL[idx]
+                        psi = addr % D_NSETS
+                        pl[psi] = plru_touch(pl[psi], dW[idx][sl], D_ASSOC)
                     if PF_ON and (not STRIDE or addr in dSTR[idx]):
                         for p in PFD[idx].observe_hit(addr):
                             issue_l1_pf(idx, kind, p, t)

@@ -24,12 +24,14 @@ from typing import Dict, List, Tuple
 
 from repro.cache.compressed import CompressedSetCache
 from repro.cache.line import MSIState
+from repro.cache.plru import plru_touch
 from repro.cache.set_assoc import Eviction, SetAssocCache
 from repro.coherence.directory import Directory
 from repro.compression.policy import AdaptiveCompressionPolicy
 from repro.interconnect.link import PinLink
 from repro.interconnect.noc import OnChipNetwork
 from repro.memory.dram import DRAM
+from repro.memory.mshr import MSHRFile, WriteBackBuffer
 from repro.params import SEGMENTS_PER_LINE, SystemConfig
 from repro.prefetch.adaptive import AdaptiveController
 from repro.prefetch.sequential import SequentialPrefetcher
@@ -61,6 +63,18 @@ class MemoryHierarchy:
         self.link = PinLink(config.link, config.clock_ghz)
         self.noc = OnChipNetwork(n, config.onchip_bandwidth_gbs, config.clock_ghz)
         self.dram = DRAM(config.memory, n)
+        # Miss-handling realism knobs (both default off, preserving the
+        # legacy DRAM slot-pool model bit for bit).
+        self.mshr = (
+            MSHRFile(config.memory.mshr_entries, n)
+            if config.memory.mshr_entries is not None
+            else None
+        )
+        self.wb = (
+            WriteBackBuffer(config.memory.writeback_buffer)
+            if config.memory.writeback_buffer
+            else None
+        )
 
         # Stats are aggregated per level (Table 4's granularity).
         self.l1i_stats = CacheStats()
@@ -215,6 +229,10 @@ class MemoryHierarchy:
             if stack[0] is not entry:
                 stack.remove(entry)
                 stack.insert(0, entry)
+            plru = l1._plru
+            if plru is not None:
+                si = addr % l1.n_sets
+                plru[si] = plru_touch(plru[si], entry.way, l1.assoc)
             if self._pf_on:
                 for p in pf.observe_hit(addr):
                     self._issue_l1_prefetch(core, kind, p, now)
@@ -294,6 +312,16 @@ class MemoryHierarchy:
         self.dram.demand_requests = 0
         self.dram.prefetch_requests = 0
         self.dram.stalled_issues = 0
+        # The open-row tallies are measurement counters like the request
+        # counts above; leaving them unreset let warmup traffic leak into
+        # the reported row-hit rate (the open-row *state* itself —
+        # ``_open_rows`` — is machine state and is kept).
+        self.dram.row_hits = 0
+        self.dram.row_misses = 0
+        if self.mshr is not None:
+            self.mshr.reset_stats()
+        if self.wb is not None:
+            self.wb.reset_stats()
         self._l2_access_count = 0
         self.compression_policy.reset_stats()
         self._rebuild_routes()
@@ -354,7 +382,7 @@ class MemoryHierarchy:
                 stats.writebacks += 1
         elif ev.dirty:
             # Inclusion normally prevents this; be safe and write to memory.
-            self.link.send_data(now, self.values.segments_for(ev.addr))
+            self._send_writeback(now, self.values.segments_for(ev.addr))
             stats.writebacks += 1
 
     def _upgrade(self, core: int, addr: int, now: float) -> float:
@@ -456,6 +484,10 @@ class MemoryHierarchy:
             if stack[0] is not entry:
                 stack.remove(entry)
                 stack.insert(0, entry)
+            plru = l2._plru
+            if plru is not None:
+                si = addr % l2.n_sets
+                plru[si] = plru_touch(plru[si], entry.way, l2.tags_per_set)
 
             if store:
                 latency += self._invalidate_other_sharers(entry, core)
@@ -513,10 +545,45 @@ class MemoryHierarchy:
         """Fetch a line from memory: request pins -> DRAM -> data pins.
 
         Returns ``(data_arrival_time, segments_as_stored)``.
+
+        With an MSHR file configured it owns the outstanding-miss limit:
+        a miss to a line whose fetch is still in flight coalesces onto
+        the existing entry (no request message, no DRAM access, no data
+        message — it rides the in-flight fill), a full file makes demand
+        misses wait for the oldest entry, and entries are held until the
+        data lands on-chip.  Coalesced fetches append a ``("C", addr)``
+        record to the oracle tap stream so the differential oracle can
+        mirror the merge without re-deriving MSHR timing.
         """
+        mshr = self.mshr
+        if mshr is not None:
+            rec = mshr.lookup(addr, request_ready)
+            if rec is not None:
+                mshr.coalesced += 1
+                ops = self.__dict__.get("_tap_ops")
+                if ops is not None:
+                    ops.append(("C", addr))
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        self.tracer.mshr_tid, "coalesce", request_ready,
+                        ("addr", addr, "core", core),
+                    )
+                return rec[0], rec[1]
         segments = self.values.segments_for(addr)
         if self.compression_policy.enabled and not self.compression_policy.should_compress():
             segments = SEGMENTS_PER_LINE  # store uncompressed this phase
+        if mshr is not None:
+            start = mshr.allocate(core, request_ready, demand)
+            request_done = self.link.send_request(start)
+            mem_done = self.dram.service(core, request_done, addr, demand)
+            data_done = self.link.send_data(mem_done, segments)
+            mshr.commit(core, addr, data_done, segments)
+            if self.tracer is not None:
+                self.tracer.span(
+                    self.tracer.mshr_tid, "demand" if demand else "prefetch",
+                    start, data_done - start, ("addr", addr, "core", core),
+                )
+            return data_done, segments
         request_done = self.link.send_request(request_ready)
         if demand:
             mem_done = self.dram.issue_demand(core, request_done, addr)
@@ -610,7 +677,17 @@ class MemoryHierarchy:
             # Writebacks are compressed at the memory interface even when
             # the L2 stored the line uncompressed (link compression is
             # independent of cache compression in Figure 2's design).
-            self.link.send_data(now, self.values.segments_for(ev.addr))
+            self._send_writeback(now, self.values.segments_for(ev.addr))
+
+    def _send_writeback(self, now: float, segments: int) -> None:
+        """Put a dirty line's data on the memory path: straight onto the
+        pin link, or through the bounded write-back buffer when one is
+        configured (a full buffer delays the traffic, never the
+        eviction)."""
+        if self.wb is None:
+            self.link.send_data(now, segments)
+        else:
+            self.wb.insert(now, segments, self.link.send_data)
 
     # ------------------------------------------------------------------
     # coherence helpers
@@ -646,6 +723,16 @@ class MemoryHierarchy:
     # prefetch issue
     # ------------------------------------------------------------------
 
+    def _pf_fetch_gate(self, core: int, addr: int, now: float) -> bool:
+        """May a prefetch start a line fetch right now?  (It is dropped,
+        never stalled, when the answer is no.)  With an MSHR file the
+        gate is per-core file occupancy — except a prefetch to a line
+        already in flight, which will coalesce and needs no new entry."""
+        mshr = self.mshr
+        if mshr is None:
+            return self.dram.can_issue(core, now)
+        return mshr.lookup(addr, now) is not None or mshr.can_allocate(core, now)
+
     def _issue_l1_prefetch(self, core: int, kind: int, addr: int, now: float) -> None:
         if addr < 0:
             return
@@ -655,7 +742,7 @@ class MemoryHierarchy:
         if l1e is not None and l1e.valid:
             return
         l2e = self.l2._map.get(addr)  # CompressedSetCache.probe, inlined
-        if (l2e is None or not l2e.valid) and not self.dram.can_issue(core, now):
+        if (l2e is None or not l2e.valid) and not self._pf_fetch_gate(core, addr, now):
             pf.stats.dropped += 1
             return
         pf.stats.issued += 1
@@ -687,7 +774,7 @@ class MemoryHierarchy:
             return
         if self.stream_buffers is not None and self.stream_buffers[core].contains(addr):
             return
-        if not self.dram.can_issue(core, now):
+        if not self._pf_fetch_gate(core, addr, now):
             pf_stats.dropped += 1
             return
         pf_stats.issued += 1

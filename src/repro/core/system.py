@@ -304,6 +304,31 @@ class CMPSystem:
         h = self.hierarchy
         elapsed = max(core.stats.cycles for core in self.cores)
         instructions = sum(core.stats.instructions for core in self.cores)
+        extra = {
+            "link_occupancy": h.link.occupancy(elapsed),
+            "dram_demand": float(h.dram.demand_requests),
+            "dram_prefetch": float(h.dram.prefetch_requests),
+            "l2_adaptive_counter": float(h.l2_adaptive.counter),
+            "n_cores": float(self.config.n_cores),
+            # Mean per-core stall cycles, comparable to elapsed_cycles.
+            "memory_stall_cycles": sum(
+                c.stats.memory_stall_cycles for c in self.cores
+            ) / len(self.cores),
+        }
+        # Feature-gated keys: added only when the feature is configured,
+        # so default-config fingerprints are unchanged by their existence.
+        if self.config.memory.row_buffer:
+            extra["dram_row_hits"] = float(h.dram.row_hits)
+            extra["dram_row_misses"] = float(h.dram.row_misses)
+        if h.mshr is not None:
+            extra["mshr_allocations"] = float(h.mshr.allocations)
+            extra["mshr_coalesced"] = float(h.mshr.coalesced)
+            extra["mshr_demand_stalls"] = float(h.mshr.stalls)
+            extra["mshr_peak_occupancy"] = float(h.mshr.peak_occupancy)
+        if h.wb is not None:
+            extra["wb_inserted"] = float(h.wb.inserted)
+            extra["wb_full_stalls"] = float(h.wb.full_stalls)
+            extra["wb_peak_occupancy"] = float(h.wb.peak_occupancy)
         return SimulationResult(
             workload=self.spec.name,
             config_name=config_name,
@@ -318,17 +343,7 @@ class CMPSystem:
             compression=h.compression_stats,
             clock_ghz=self.config.clock_ghz,
             events=events_per_core * self.config.n_cores,
-            extra={
-                "link_occupancy": h.link.occupancy(elapsed),
-                "dram_demand": float(h.dram.demand_requests),
-                "dram_prefetch": float(h.dram.prefetch_requests),
-                "l2_adaptive_counter": float(h.l2_adaptive.counter),
-                "n_cores": float(self.config.n_cores),
-                # Mean per-core stall cycles, comparable to elapsed_cycles.
-                "memory_stall_cycles": sum(
-                    c.stats.memory_stall_cycles for c in self.cores
-                ) / len(self.cores),
-            },
+            extra=extra,
             taxonomy={name: h.taxonomy.level(name) for name in ("l1i", "l1d", "l2")},
             latency={name: hist.summary() for name, hist in h.latency_hist.items()},
         )

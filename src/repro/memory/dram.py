@@ -95,6 +95,29 @@ class DRAM:
             )
         return completion
 
+    def service(self, core: int, ready_time: float, addr: int, demand: bool) -> float:
+        """Service one access with no slot gating (MSHR mode).
+
+        When a first-class MSHR file (:class:`repro.memory.mshr.MSHRFile`)
+        owns the outstanding-miss limit, the DRAM's own per-core slot
+        pools are bypassed: the MSHR already decided whether/when the
+        request may issue.  Counters, the open-row model and the trace
+        span match :meth:`issue_demand`/:meth:`issue_prefetch` exactly.
+        """
+        completion = ready_time + self._access_latency(addr)
+        if demand:
+            self.demand_requests += 1
+            name = "demand"
+        else:
+            self.prefetch_requests += 1
+            name = "prefetch"
+        if self.tracer is not None:
+            self.tracer.span(
+                self.tracer.dram_tid, name, ready_time,
+                completion - ready_time, ("core", core),
+            )
+        return completion
+
     def outstanding(self, core: int, now: float) -> int:
         return len(self._prune(self._demand[core], now)) + len(
             self._prune(self._prefetch[core], now)

@@ -189,6 +189,14 @@ def default_registry() -> MetricsRegistry:
     r.gauge("adaptive_l2", lambda s: float(s.hierarchy.l2_adaptive.counter))
     r.gauge("compression_counter",
             lambda s: float(s.hierarchy.compression_policy.counter))
+    # Live MSHR occupancy at the sample instant (0.0 when the MSHR file
+    # is not configured).  Reading prunes arrived entries against the
+    # asking time, which is the structure's normal lazy bookkeeping —
+    # not a mutation of simulated behaviour.
+    r.gauge("mshr_occupancy",
+            lambda s: float(s.hierarchy.mshr.occupancy(
+                getattr(s, "_sampler_cycle", 0.0)))
+            if s.hierarchy.mshr is not None else 0.0)
     return r
 
 

@@ -21,7 +21,10 @@ Track layout (one process, one thread per hardware resource):
 * ``noc``        — on-chip line transfers (``X``);
 * ``control``    — instant events (``i``) for adaptive-counter changes,
   prefetch outcome feedback, compression phase flips and audit checks,
-  plus counter (``C``) samples of the adaptive throttle value.
+  plus counter (``C``) samples of the adaptive throttle value;
+* ``mshr``       — MSHR entry lifetimes (``X`` spans, request issue to
+  data arrival; overlap depth == file occupancy) and coalesced
+  secondary misses (``i``), present when ``mshr_entries`` is set.
 
 Timestamps are simulated cycles reported in the JSON's microsecond
 fields (1 cycle == 1 "us" on the viewer's axis).
@@ -110,6 +113,7 @@ class Tracer:
         self.dram_tid = n_cores + n_banks + 2
         self.noc_tid = n_cores + n_banks + 3
         self.control_tid = n_cores + n_banks + 4
+        self.mshr_tid = n_cores + n_banks + 5
         self._metadata = self._build_metadata()
 
     # -- track ids ----------------------------------------------------------
@@ -134,6 +138,7 @@ class Tracer:
             (self.dram_tid, "dram"),
             (self.noc_tid, "noc"),
             (self.control_tid, "control"),
+            (self.mshr_tid, "mshr"),
         ]
         for tid, name in names:
             events.append(meta("thread_name", tid, {"name": name}))

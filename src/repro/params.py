@@ -30,6 +30,11 @@ class CacheConfig:
     assoc: int
     line_bytes: int = LINE_BYTES
     hit_latency: int = 3
+    # Victim selection within a set: "lru" (true LRU recency stack) or
+    # "plru" (tree pseudo-LRU: one direction bit per internal node of a
+    # binary tree over the ways, as built in hardware).  PLRU requires a
+    # power-of-two associativity.
+    replacement: str = "lru"
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0 or self.assoc <= 0 or self.line_bytes <= 0:
@@ -39,6 +44,10 @@ class CacheConfig:
                 f"cache size {self.size_bytes} not divisible by "
                 f"assoc*line ({self.assoc}*{self.line_bytes})"
             )
+        if self.replacement not in ("lru", "plru"):
+            raise ValueError(f"unknown replacement {self.replacement!r}")
+        if self.replacement == "plru" and self.assoc & (self.assoc - 1):
+            raise ValueError("plru replacement requires a power-of-two assoc")
 
     @property
     def n_lines(self) -> int:
@@ -79,12 +88,20 @@ class L2Config:
     # Which line-compression scheme sizes lines ("fpc", "fvc",
     # "selective", "zero_only"); the paper uses FPC throughout.
     scheme: str = "fpc"
+    # Victim selection among a set's valid tags: "lru" or tree "plru"
+    # (requires a power-of-two tags_per_set; victim-tag recycling order
+    # is unaffected — only which valid line is evicted changes).
+    replacement: str = "lru"
 
     def __post_init__(self) -> None:
         if self.tags_per_set < self.uncompressed_assoc:
             raise ValueError("tags_per_set must be >= uncompressed_assoc")
         if self.size_bytes % (self.n_banks * self.line_bytes * self.uncompressed_assoc) != 0:
             raise ValueError("L2 size must divide evenly into banks and sets")
+        if self.replacement not in ("lru", "plru"):
+            raise ValueError(f"unknown replacement {self.replacement!r}")
+        if self.replacement == "plru" and self.tags_per_set & (self.tags_per_set - 1):
+            raise ValueError("plru replacement requires a power-of-two tags_per_set")
 
     @property
     def data_segments_per_set(self) -> int:
@@ -154,6 +171,26 @@ class MemoryConfig:
     dram_banks: int = 16
     row_lines: int = 128  # 8 KB rows of 64-byte lines
     row_hit_latency: int = 250
+    # First-class per-core MSHR file.  ``None`` keeps the legacy model
+    # (the bare per-core DRAM outstanding-request gate above), preserving
+    # fingerprints bit-exactly.  An integer N replaces that gate with an
+    # N-entry MSHR file per core: entries are held from request issue
+    # until the data lands on-chip, demand misses stall for a free entry
+    # when the file is full, prefetches are dropped instead, and a miss
+    # to a line whose fetch is still in flight coalesces onto the
+    # existing entry instead of issuing a second DRAM fetch.
+    mshr_entries: Optional[int] = None
+    # Bounded write-back buffer between the L2 and memory.  0 keeps the
+    # legacy fire-and-forget model (dirty evictions hit the pin link
+    # immediately); N > 0 holds up to N in-flight writebacks and delays
+    # further evictions' link traffic until a slot drains.
+    writeback_buffer: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mshr_entries is not None and self.mshr_entries <= 0:
+            raise ValueError("mshr_entries must be positive (or None)")
+        if self.writeback_buffer < 0:
+            raise ValueError("writeback_buffer must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ EXPORT_FIELDS = (
     "compression_ratio",
     "link_bytes",
     "pf_l2_issued",
+    "pf_l2_dropped",
     "pf_l2_coverage",
     "pf_l2_accuracy",
 )
@@ -58,6 +59,7 @@ def result_to_dict(result: SimulationResult) -> Dict[str, object]:
         "compression_ratio": result.compression_ratio,
         "link_bytes": result.link.bytes_total,
         "pf_l2_issued": l2_report.issued,
+        "pf_l2_dropped": result.prefetch["l2"].dropped,
         "pf_l2_coverage": l2_report.coverage,
         "pf_l2_accuracy": l2_report.accuracy,
     }

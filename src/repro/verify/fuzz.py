@@ -83,9 +83,13 @@ def random_config(rng) -> SystemConfig:
     n_cores = rng.choice((1, 2, 2, 4))
 
     def l1() -> CacheConfig:
-        assoc = rng.choice((1, 2, 4))
+        assoc = rng.choice((1, 2, 4))  # powers of two, so PLRU is always legal
         sets = rng.choice((4, 8, 16))
-        return CacheConfig(size_bytes=sets * assoc * LINE_BYTES, assoc=assoc)
+        return CacheConfig(
+            size_bytes=sets * assoc * LINE_BYTES,
+            assoc=assoc,
+            replacement=rng.choice(("lru", "lru", "plru")),
+        )
 
     l2_assoc = rng.choice((2, 4))
     tags = l2_assoc * rng.choice((1, 2))
@@ -100,6 +104,7 @@ def random_config(rng) -> SystemConfig:
         compressed=rng.random() < 0.5,
         adaptive_compression=rng.random() < 0.25,
         scheme=rng.choice(("fpc", "fpc", "fvc", "selective", "zero_only")),
+        replacement=rng.choice(("lru", "lru", "plru")),  # tags_per_set is 2/4/8
     )
     prefetch = PrefetchConfig(
         enabled=rng.random() < 0.7,
@@ -126,6 +131,10 @@ def random_config(rng) -> SystemConfig:
         dram_banks=rng.choice((4, 16)),
         row_lines=32,
         row_hit_latency=60,
+        # Tiny MSHR files / write-back buffers against tiny caches: lots
+        # of full-file stalls, drops and coalescing windows per event.
+        mshr_entries=rng.choice((None, None, 1, 2, 4)),
+        writeback_buffer=rng.choice((0, 0, 1, 2)),
     )
     return SystemConfig(
         n_cores=n_cores,
@@ -329,6 +338,17 @@ def _simplifications(config: SystemConfig) -> List[Tuple[str, SystemConfig]]:
         out.append(("halve cores", replace(config, n_cores=config.n_cores // 2)))
     if config.memory.row_buffer:
         out.append(("row_buffer off", replace(config, memory=replace(config.memory, row_buffer=False))))
+    if config.memory.mshr_entries is not None:
+        out.append(("mshr off", replace(config, memory=replace(config.memory, mshr_entries=None))))
+    if config.memory.writeback_buffer:
+        out.append(("wb buffer off", replace(config, memory=replace(config.memory, writeback_buffer=0))))
+    if "plru" in (config.l1i.replacement, config.l1d.replacement, config.l2.replacement):
+        out.append(("lru replacement", replace(
+            config,
+            l1i=replace(config.l1i, replacement="lru"),
+            l1d=replace(config.l1d, replacement="lru"),
+            l2=replace(config.l2, replacement="lru"),
+        )))
     if config.onchip_bandwidth_gbs is not None:
         out.append(("noc off", replace(config, onchip_bandwidth_gbs=None)))
     if config.link.compressed:

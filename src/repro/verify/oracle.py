@@ -18,10 +18,17 @@ What is *not* predicted, and why:
   the demanded line's fill was still in flight (pure timing).  Their
   **sum** is structural; the oracle tracks it in ``prefetch_hits`` and
   the comparison checks the sum.
-* prefetch ``issued`` vs ``dropped`` when DRAM-gated — taken from the
-  recorded outcome (see :mod:`repro.verify.tap`); every other skip/issue
-  decision is re-derived structurally and cross-checked.
-* latencies, histograms, queue/stall cycles, elapsed time — timing.
+* prefetch ``issued`` vs ``dropped`` when DRAM- or MSHR-gated — taken
+  from the recorded outcome (see :mod:`repro.verify.tap`); every other
+  skip/issue decision is re-derived structurally and cross-checked.
+* whether a fetch coalesced onto an in-flight MSHR entry — the window
+  is pure timing, so the recorded ``("C", addr)`` entries are taken as
+  given; the oracle then *checks* the address, replays the structural
+  consequences (no DRAM access, no link messages, the in-flight
+  fetch's segment count) and predicts ``mshr.allocations`` and
+  ``mshr.coalesced`` exactly.
+* latencies, histograms, queue/stall cycles, elapsed time — timing
+  (including MSHR stalls and MSHR/write-back-buffer occupancy peaks).
 
 Prefetch *address generation* (stride detection, stream tables,
 adaptive throttles, sequential degree control) is driven through replica
@@ -59,6 +66,48 @@ _SEGMENT_BYTES = 8
 
 class OracleMismatch(AssertionError):
     """The simulator and the reference model diverged."""
+
+
+# ----------------------------------------------------------------------
+# tree-PLRU, re-derived independently of repro.cache.plru
+# ----------------------------------------------------------------------
+#
+# Same packed representation as the simulator (node 0 the root, node i's
+# children at 2i+1 / 2i+2, one int per set) so final bit state can be
+# compared directly, but the walks are derived from the binary digits of
+# the way index rather than the simulator's range-halving loop.
+
+
+def _plru_touch(bits: int, way: int, ways: int) -> int:
+    levels = ways.bit_length() - 1
+    node = 0
+    for depth in range(levels):
+        right = (way >> (levels - 1 - depth)) & 1
+        if right:
+            bits &= ~(1 << node)  # point left, away from the touched way
+        else:
+            bits |= 1 << node  # point right
+        node = 2 * node + 1 + right
+    return bits
+
+
+def _plru_victim(bits: int, ways: int, mask: int) -> int:
+    levels = ways.bit_length() - 1
+    node = 0
+    way = 0
+    for depth in range(levels):
+        width = 1 << (levels - 1 - depth)  # ways per child subtree
+        left_mask = ((1 << width) - 1) << way
+        right = (bits >> node) & 1
+        if right:
+            if not (mask & (left_mask << width)):
+                right = 0  # no candidate on the right: divert
+        elif not (mask & left_mask):
+            right = 1
+        node = 2 * node + 1 + right
+        if right:
+            way += width
+    return way
 
 
 # ----------------------------------------------------------------------
@@ -112,19 +161,29 @@ class _RefL1:
     what this model implements directly.
     """
 
-    def __init__(self, n_sets: int, assoc: int, victim_depth: int) -> None:
+    def __init__(self, n_sets: int, assoc: int, victim_depth: int, plru: bool = False) -> None:
         self.n_sets = n_sets
         self.assoc = assoc
         self.victim_depth = victim_depth
+        self.plru = plru
         self.sets: List[List[int]] = [[] for _ in range(n_sets)]  # MRU-first addrs
         self.lines: Dict[int, _Line] = {}
         self.victims: List[List[int]] = [[] for _ in range(n_sets)]
+        # Tree-PLRU state: per-set packed direction bits plus the
+        # physical way each resident address occupies (the simulator's
+        # fixed tag frames; only meaningful when ``plru``, since LRU
+        # victim choice never depends on physical placement).
+        self.bits: List[int] = [0] * n_sets
+        self.ways: Dict[int, int] = {}
 
     def touch(self, addr: int) -> None:
-        stack = self.sets[addr % self.n_sets]
+        idx = addr % self.n_sets
+        stack = self.sets[idx]
         if stack[0] != addr:
             stack.remove(addr)
             stack.insert(0, addr)
+        if self.plru:  # unconditional, even when the line was already MRU
+            self.bits[idx] = _plru_touch(self.bits[idx], self.ways[addr], self.assoc)
 
     def _note_victim(self, addr: int) -> None:
         if self.victim_depth:
@@ -137,12 +196,28 @@ class _RefL1:
     def insert(self, addr: int, state: int, dirty: bool, prefetch: bool) -> Optional[_Evicted]:
         if addr in self.lines:
             raise OracleMismatch(f"oracle L1 insert of resident line {addr:#x}")
-        stack = self.sets[addr % self.n_sets]
+        idx = addr % self.n_sets
+        stack = self.sets[idx]
         evicted = None
-        if len(stack) == self.assoc:
-            old = stack.pop()
-            evicted = _Evicted(old, self.lines.pop(old))
-            self._note_victim(old)
+        if not self.plru:
+            if len(stack) == self.assoc:
+                old = stack.pop()
+                evicted = _Evicted(old, self.lines.pop(old))
+                self._note_victim(old)
+        else:
+            occupied = 0
+            for a in stack:
+                occupied |= 1 << self.ways[a]
+            free = ((1 << self.assoc) - 1) & ~occupied
+            way = _plru_victim(self.bits[idx], self.assoc, free or occupied)
+            if not free:
+                old = next(a for a in stack if self.ways[a] == way)
+                stack.remove(old)
+                evicted = _Evicted(old, self.lines.pop(old))
+                del self.ways[old]
+                self._note_victim(old)
+            self.ways[addr] = way
+            self.bits[idx] = _plru_touch(self.bits[idx], way, self.assoc)
         stack.insert(0, addr)
         self.lines[addr] = _Line(state, dirty, prefetch)
         return evicted
@@ -152,6 +227,8 @@ class _RefL1:
         if line is None:
             return None
         self.sets[addr % self.n_sets].remove(addr)
+        if self.plru:
+            del self.ways[addr]  # the frame frees; direction bits keep
         self._note_victim(addr)
         return _Evicted(addr, line)
 
@@ -166,35 +243,52 @@ class _RefL1:
 class _RefL2:
     """Decoupled variable-segment compressed cache (address-keyed).
 
-    Victim tags are modeled as the per-set list of the addresses held by
-    the invalid tags, most-recently-retired first; a new line claims the
-    *oldest* victim tag (list tail), exactly like the simulator's
-    tag-frame pool.  Unused tags start as ``-1`` placeholders (the
-    simulator's fresh ``TagEntry.addr``), which no real line address
-    ever matches.
+    Victim tags are modeled as the per-set list of ``(addr, way)`` pairs
+    held by the invalid tags, most-recently-retired first; a new line
+    claims the *oldest* victim tag (list tail), exactly like the
+    simulator's tag-frame pool.  Unused tags start as ``-1``
+    placeholders (the simulator's fresh ``TagEntry.addr``) carrying
+    their build-order ways ``0..tags_per_set-1``, so the first fill
+    claims way ``tags_per_set - 1`` — the same physical placement the
+    simulator produces.
     """
 
-    def __init__(self, n_sets: int, tags_per_set: int, total_segments: int, compressed: bool) -> None:
+    def __init__(
+        self,
+        n_sets: int,
+        tags_per_set: int,
+        total_segments: int,
+        compressed: bool,
+        plru: bool = False,
+    ) -> None:
         self.n_sets = n_sets
         self.tags_per_set = tags_per_set
         self.total_segments = total_segments
         self.compressed = compressed
+        self.plru = plru
         self.sets: List[List[int]] = [[] for _ in range(n_sets)]  # MRU-first addrs
-        self.victims: List[List[int]] = [[-1] * tags_per_set for _ in range(n_sets)]
+        self.victims: List[List[Tuple[int, int]]] = [
+            [(-1, way) for way in range(tags_per_set)] for _ in range(n_sets)
+        ]
         self.used: List[int] = [0] * n_sets
         self.lines: Dict[int, _Line] = {}
+        self.bits: List[int] = [0] * n_sets
+        self.ways: Dict[int, int] = {}  # resident addr -> physical way
 
     def touch(self, addr: int) -> None:
-        stack = self.sets[addr % self.n_sets]
+        idx = addr % self.n_sets
+        stack = self.sets[idx]
         if stack[0] != addr:
             stack.remove(addr)
             stack.insert(0, addr)
+        if self.plru:  # unconditional, even when the line was already MRU
+            self.bits[idx] = _plru_touch(self.bits[idx], self.ways[addr], self.tags_per_set)
 
     def stack_depth(self, addr: int) -> int:
         return self.sets[addr % self.n_sets].index(addr)
 
     def victim_match(self, addr: int) -> bool:
-        return addr in self.victims[addr % self.n_sets]
+        return any(v[0] == addr for v in self.victims[addr % self.n_sets])
 
     def set_has_prefetched_line(self, addr: int) -> bool:
         lines = self.lines
@@ -206,7 +300,7 @@ class _RefL2:
     def _retire(self, idx: int, addr: int) -> _Evicted:
         line = self.lines.pop(addr)
         self.used[idx] -= line.segments
-        self.victims[idx].insert(0, addr)
+        self.victims[idx].insert(0, (addr, self.ways.pop(addr)))
         return _Evicted(addr, line)
 
     def insert(
@@ -229,11 +323,23 @@ class _RefL2:
         victims = self.victims[idx]
         evictions: List[_Evicted] = []
         while self.used[idx] + segments > self.total_segments or not victims:
-            evictions.append(self._retire(idx, stack.pop()))
-        victims.pop()  # claim the oldest victim tag
+            if self.plru:
+                mask = 0
+                for a in stack:
+                    mask |= 1 << self.ways[a]
+                way = _plru_victim(self.bits[idx], self.tags_per_set, mask)
+                old = next(a for a in stack if self.ways[a] == way)
+                stack.remove(old)
+            else:
+                old = stack.pop()
+            evictions.append(self._retire(idx, old))
+        way = victims.pop()[1]  # claim the oldest victim tag (and its frame)
+        self.ways[addr] = way
         stack.insert(0, addr)
         self.used[idx] += segments
         self.lines[addr] = _Line(state, dirty, prefetch, segments, sharers, owner)
+        if self.plru:
+            self.bits[idx] = _plru_touch(self.bits[idx], way, self.tags_per_set)
         return evictions
 
 
@@ -334,13 +440,22 @@ class ReferenceHierarchy:
         pf_cfg = config.prefetch
         victim_depth = pf_cfg.l1_victim_tags if pf_cfg.adaptive else 0
 
-        self.l1i = [_RefL1(config.l1i.n_sets, config.l1i.assoc, victim_depth) for _ in range(n)]
-        self.l1d = [_RefL1(config.l1d.n_sets, config.l1d.assoc, victim_depth) for _ in range(n)]
+        self.l1i = [
+            _RefL1(config.l1i.n_sets, config.l1i.assoc, victim_depth,
+                   plru=config.l1i.replacement == "plru")
+            for _ in range(n)
+        ]
+        self.l1d = [
+            _RefL1(config.l1d.n_sets, config.l1d.assoc, victim_depth,
+                   plru=config.l1d.replacement == "plru")
+            for _ in range(n)
+        ]
         self.l2 = _RefL2(
             config.l2.n_sets,
             config.l2.tags_per_set,
             config.l2.data_segments_per_set,
             config.l2.compressed,
+            plru=config.l2.replacement == "plru",
         )
         self.link = _RefLink(config.link.header_bytes, config.link.compressed)
         self.policy = _RefCompressionPolicy(
@@ -352,6 +467,20 @@ class ReferenceHierarchy:
         self.dram_demand = 0
         self.dram_prefetch = 0
         self._l2_access_count = 0
+
+        # Miss-handling realism.  Whether a fetch coalesced onto an
+        # in-flight MSHR entry is timing (taken from the recorded "C"
+        # entries); the *consequences* — one fewer DRAM access, no link
+        # messages, the in-flight fetch's segment count — are structural
+        # and re-derived here.  ``_fetch_segments`` remembers each
+        # line's most recent real fetch, which is exactly the in-flight
+        # record a coalescing miss rides.
+        self._mshr_on = config.memory.mshr_entries is not None
+        self._wb_on = bool(config.memory.writeback_buffer)
+        self.mshr_allocations = 0
+        self.mshr_coalesced = 0
+        self.wb_inserted = 0
+        self._fetch_segments: Dict[int, int] = {}
 
         # Stats bundles.  ``prefetch_hits`` holds the merged
         # partial+prefetch first-touch count (the split is timing).
@@ -412,8 +541,9 @@ class ReferenceHierarchy:
                 self._reset()
             else:
                 raise OracleMismatch(
-                    f"op {self._pos - 1}: unconsumed prefetch record {op!r} — the "
-                    "simulator issued a prefetch attempt the oracle did not predict"
+                    f"op {self._pos - 1}: unconsumed record {op!r} — the simulator "
+                    "performed a prefetch attempt or coalesced fetch the oracle "
+                    "did not predict"
                 )
 
     def _next_prefetch_op(self, expected: List) -> str:
@@ -506,6 +636,7 @@ class ReferenceHierarchy:
         elif ev.dirty:
             self.link.send_data(self.values.segments_for(ev.addr))
             stats.writebacks += 1
+            self.wb_inserted += 1
 
     def _upgrade(self, core: int, addr: int) -> None:
         l2line = self.l2.lines.get(addr)
@@ -597,6 +728,23 @@ class ReferenceHierarchy:
                 self._consume_l2_prefetch(core, p)
 
     def _fetch_line(self, core: int, demand: bool, addr: int) -> int:
+        if self._mshr_on and self._pos < len(self._ops):
+            op = self._ops[self._pos]
+            if op[0] == _tap.COALESCE:
+                if op[1] != addr:
+                    raise OracleMismatch(
+                        f"op {self._pos}: simulator coalesced fetch of "
+                        f"{op[1]:#x} where the oracle fetches {addr:#x}"
+                    )
+                self._pos += 1
+                self.mshr_coalesced += 1
+                segments = self._fetch_segments.get(addr)
+                if segments is None:
+                    raise OracleMismatch(
+                        f"op {self._pos - 1}: coalesced fetch of {addr:#x} "
+                        "but the oracle never saw a real fetch of that line"
+                    )
+                return segments  # rides the in-flight entry: no traffic
         segments = self.values.segments_for(addr)
         if self.policy.enabled and not self.policy.should_compress():
             segments = _SEGMENTS_PER_LINE
@@ -606,6 +754,9 @@ class ReferenceHierarchy:
         else:
             self.dram_prefetch += 1
         self.link.send_data(segments)
+        if self._mshr_on:
+            self.mshr_allocations += 1
+            self._fetch_segments[addr] = segments
         return segments
 
     def _fill_l2(
@@ -659,6 +810,7 @@ class ReferenceHierarchy:
         if dirty:
             self.l2_stats.writebacks += 1
             self.link.send_data(self.values.segments_for(ev.addr))
+            self.wb_inserted += 1
 
     # -- coherence helpers --------------------------------------------------
 
@@ -771,6 +923,11 @@ class ReferenceHierarchy:
         self.dram_prefetch = 0
         self._l2_access_count = 0
         self.policy.reset_stats()
+        # MSHR/WB measurement counters reset; _fetch_segments is machine
+        # state (in-flight fetch memory) and survives, like the caches.
+        self.mshr_allocations = 0
+        self.mshr_coalesced = 0
+        self.wb_inserted = 0
 
     # ------------------------------------------------------------------
     # comparison
@@ -835,6 +992,16 @@ class ReferenceHierarchy:
 
         diff("dram.demand_requests", hierarchy.dram.demand_requests, self.dram_demand)
         diff("dram.prefetch_requests", hierarchy.dram.prefetch_requests, self.dram_prefetch)
+
+        # Miss-handling realism counters (stalls and occupancy peaks are
+        # timing; allocations / coalesced fills / write-back insertions
+        # are structural once the recorded "C" entries are taken as
+        # given — every coalesce must be matched by one fewer fetch).
+        if hierarchy.mshr is not None:
+            diff("mshr.allocations", hierarchy.mshr.allocations, self.mshr_allocations)
+            diff("mshr.coalesced", hierarchy.mshr.coalesced, self.mshr_coalesced)
+        if hierarchy.wb is not None:
+            diff("wb.inserted", hierarchy.wb.inserted, self.wb_inserted)
 
         sim_comp = hierarchy.compression_stats
         diff("compression.samples", sim_comp.samples, self.compression.samples)
@@ -921,6 +1088,12 @@ class ReferenceHierarchy:
                             victims,
                             ref_cache.victims[idx],
                         )
+                if ref_cache.plru:
+                    diff(
+                        f"state.{label}[{core}].plru_bits",
+                        sim_cache._plru,
+                        ref_cache.bits,
+                    )
 
         l2 = hierarchy.l2
         for idx, cset in enumerate(l2._sets):
@@ -938,10 +1111,12 @@ class ReferenceHierarchy:
             diff(f"state.l2.set[{idx}]", sim_lines, ref_lines)
             diff(
                 f"state.l2.victims[{idx}]",
-                [e.addr for e in cset.victim_stack],
+                [(e.addr, e.way) for e in cset.victim_stack],
                 self.l2.victims[idx],
             )
             diff(f"state.l2.used_segments[{idx}]", cset.used_segments, self.l2.used[idx])
+        if self.l2.plru:
+            diff("state.l2.plru_bits", l2._plru, self.l2.bits)
         return problems
 
 

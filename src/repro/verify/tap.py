@@ -8,7 +8,11 @@ timing model:
 
 * whether a prefetch issue attempt was **dropped** at the DRAM
   outstanding-request limit (``DRAM.can_issue`` depends on in-flight
-  completion times), and
+  completion times) or at a full MSHR file,
+* whether a line fetch **coalesced** onto an in-flight MSHR entry
+  (``("C", addr)``, appended by ``_fetch_line`` itself when
+  ``mshr_entries`` is configured — the coalescing window is the time
+  between request issue and data arrival, pure timing), and
 * where ``reset_stats`` fell in the interleaved event order.
 
 The tap records exactly that: one ``("D", core, kind, addr)`` entry per
@@ -42,6 +46,7 @@ from repro.workloads.base import IFETCH
 DEMAND = "D"
 L1_PREFETCH = "P1"
 L2_PREFETCH = "P2"
+COALESCE = "C"
 RESET = "RESET"
 
 ISSUED = "issued"

@@ -18,6 +18,7 @@ import pytest
 from repro.cache.line import MSIState
 from repro.cache.set_assoc import Eviction
 from repro.core.runner import ParallelRunner, PointError
+from repro.workloads.base import LOAD
 
 from tests.test_hierarchy import make_hierarchy
 
@@ -118,6 +119,101 @@ class TestResetStatsLeaks:
         h.reset_stats()
         assert h.l2_adaptive.useful_events == 5
         assert h.l2_adaptive.useless_events == 3
+
+
+class TestDramRowStatsResetAndExport:
+    """``DRAM.row_hits``/``row_misses`` were never zeroed by
+    ``reset_stats`` and never exported: a warmed-up run reported row
+    locality accumulated since cycle zero (or, in practice, nothing at
+    all — no consumer ever read the counters)."""
+
+    @staticmethod
+    def _row_config():
+        from dataclasses import replace
+
+        from repro.params import SystemConfig
+
+        base = SystemConfig()
+        return replace(base, memory=replace(base.memory, row_buffer=True))
+
+    def test_reset_stats_zeroes_row_counters(self):
+        from repro.core.system import CMPSystem
+
+        system = CMPSystem(self._row_config(), workload="oltp", seed=1)
+        system.run(400)
+        dram = system.hierarchy.dram
+        assert dram.row_hits + dram.row_misses > 0
+        system.reset_stats()
+        assert dram.row_hits == 0
+        assert dram.row_misses == 0
+
+    def test_warmup_run_exports_measure_phase_row_stats(self):
+        from dataclasses import replace
+
+        from repro.core.system import CMPSystem
+
+        config = self._row_config()
+        cold = CMPSystem(config, workload="oltp", seed=1).run(400)
+        warmed = CMPSystem(config, workload="oltp", seed=1).run(
+            400, warmup_events=400
+        )
+        for key in ("dram_row_hits", "dram_row_misses"):
+            assert key in cold.extra
+            assert key in warmed.extra
+        # With the bug, the warmed run also carried the warmup phase's
+        # row outcomes; a fresh cold run of the same length cannot have
+        # fewer accesses than the measure phase alone reports.
+        assert (
+            warmed.extra["dram_row_hits"] + warmed.extra["dram_row_misses"]
+            <= cold.extra["dram_row_hits"] + cold.extra["dram_row_misses"]
+        )
+
+    def test_row_counters_absent_without_row_buffer(self):
+        from repro.core.system import CMPSystem
+        from repro.params import SystemConfig
+
+        result = CMPSystem(SystemConfig(), workload="oltp", seed=1).run(300)
+        assert "dram_row_hits" not in result.extra
+        assert "dram_row_misses" not in result.extra
+
+
+class TestDroppedPrefetchAccounting:
+    """A prefetch rejected at the memory interface (legacy per-core DRAM
+    slot gate, or a full MSHR file) vanished without a trace: the
+    ``PrefetchStats.dropped`` counter existed but no code path ever
+    incremented it, so issued counts silently overstated the prefetcher's
+    reach."""
+
+    def test_dram_slot_rejection_counts_dropped(self):
+        h = make_hierarchy(prefetch=True)
+        # Exhaust core 0's legacy DRAM slots with in-flight prefetches.
+        now = 0.0
+        while h.dram.can_issue(0, now):
+            h.dram.issue_prefetch(0, now, 0x10000)
+        pf = h.pf_l1d[0]
+        before = pf.stats.dropped
+        h._issue_l1_prefetch(0, LOAD, 0x20040, now)
+        assert pf.stats.dropped == before + 1
+
+    def test_dropped_rides_the_flat_export_row(self):
+        from repro.core.system import CMPSystem
+        from repro.params import SystemConfig
+        from repro.report.export import EXPORT_FIELDS, result_to_dict
+
+        assert "pf_l2_dropped" in EXPORT_FIELDS
+        result = CMPSystem(SystemConfig(), workload="oltp", seed=1).run(300)
+        row = result_to_dict(result)
+        assert row["pf_l2_dropped"] == result.prefetch["l2"].dropped
+
+    def test_mshr_gate_rejection_counts_dropped(self):
+        from tests.test_mshr import make_hierarchy as make_mshr_hierarchy
+
+        h = make_mshr_hierarchy(mshr_entries=1, prefetch=True, latency=1000)
+        h._fetch_line(0, 0x800, 0.0, True)  # core 0's single entry in flight
+        pf = h.pf_l1d[0]
+        before = pf.stats.dropped
+        h._issue_l1_prefetch(0, LOAD, 0x20040, 10.0)
+        assert pf.stats.dropped == before + 1
 
 
 def _kill_self(*_args, **_kwargs):

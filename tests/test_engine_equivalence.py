@@ -88,6 +88,56 @@ def test_reset_stats_keeps_engines_identical(key, monkeypatch):
     _assert_identical(results["ref"], results["fast"], f"{key} warmup+reset")
 
 
+#: Miss-handling knob combinations: each switches the fast kernel off
+#: its fused default-model specialisations onto the general transcription
+#: (see ``l1_miss_gen`` in repro.core.fastsim), exactly where divergence
+#: is most likely to hide.
+MISS_HANDLING_VARIANTS = {
+    "mshr": dict(mshr_entries=2),
+    "wb_buffer": dict(writeback_buffer=1),
+    "plru": dict(replacement="plru"),
+    "all_knobs": dict(mshr_entries=4, writeback_buffer=2, replacement="plru"),
+}
+
+
+def _with_miss_handling(config, *, mshr_entries=None, writeback_buffer=0,
+                        replacement="lru"):
+    config = replace(
+        config,
+        memory=replace(
+            config.memory,
+            mshr_entries=mshr_entries,
+            writeback_buffer=writeback_buffer,
+        ),
+    )
+    if replacement != "lru":
+        config = replace(
+            config,
+            l1i=replace(config.l1i, replacement=replacement),
+            l1d=replace(config.l1d, replacement=replacement),
+            l2=replace(config.l2, replacement=replacement),
+        )
+    return config
+
+
+@pytest.mark.parametrize("variant", sorted(MISS_HANDLING_VARIANTS))
+@pytest.mark.parametrize("key", ["pref_compr", "adaptive_compr"])
+def test_miss_handling_knobs_keep_engines_identical(key, variant, monkeypatch):
+    """MSHR files, the write-back buffer and tree-PLRU replacement all
+    route the fast kernel through its general (non-fused) miss path;
+    every counter must still match the reference bit-exactly, across the
+    warmup/reset boundary included."""
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    base = _with_miss_handling(
+        make_config(key, n_cores=2, scale=16), **MISS_HANDLING_VARIANTS[variant]
+    )
+    results = {}
+    for engine in ("ref", "fast"):
+        system = CMPSystem(replace(base, engine=engine), "apache", seed=5)
+        results[engine] = system.run(300, warmup_events=300)
+    _assert_identical(results["ref"], results["fast"], f"{key}+{variant}")
+
+
 def test_explicit_reset_stats_midstream(monkeypatch):
     """Calling ``reset_stats`` by hand (as the replay/verify tooling
     does) must also leave the engines in lockstep."""

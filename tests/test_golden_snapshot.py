@@ -29,14 +29,16 @@ import pytest
 DATA = Path(__file__).parent / "data" / "golden_snapshots.json"
 
 #: The locked points: one plain, one fully-featured, one adaptive, plus
-#: two variant points covering subsystems the named configs never reach
-#: (stream-buffer prefetch placement; the NoC model + open-row DRAM).
+#: three variant points covering subsystems the named configs never reach
+#: (stream-buffer prefetch placement; the NoC model + open-row DRAM; the
+#: MSHR file + write-back buffer + tree-PLRU miss-handling path).
 POINTS = [
     ("zeus", "base"),
     ("oltp", "pref_compr"),
     ("jbb", "adaptive_compr"),
     ("apache", "pref+stream_buffer"),
     ("art", "pref_compr+noc+row_buffer"),
+    ("apache", "pref_compr+mshr+wb+plru"),
 ]
 
 #: Run parameters for every locked point (small enough for tier 1).
@@ -68,6 +70,17 @@ def _variant_config(key: str):
             config = replace(config, onchip_bandwidth_gbs=320.0)
         elif feature == "row_buffer":
             config = replace(config, memory=replace(config.memory, row_buffer=True))
+        elif feature == "mshr":
+            config = replace(config, memory=replace(config.memory, mshr_entries=4))
+        elif feature == "wb":
+            config = replace(config, memory=replace(config.memory, writeback_buffer=2))
+        elif feature == "plru":
+            config = replace(
+                config,
+                l1i=replace(config.l1i, replacement="plru"),
+                l1d=replace(config.l1d, replacement="plru"),
+                l2=replace(config.l2, replacement="plru"),
+            )
         else:
             raise ValueError(f"unknown golden variant feature {feature!r}")
     return config
