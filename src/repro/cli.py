@@ -11,6 +11,7 @@
     python -m repro record zeus trace.rpt --events 20000
     python -m repro replay trace.rpt --config compr
     python -m repro table5
+    python -m repro matrix --workloads chase -o matrix.csv
     python -m repro schemes oltp
     python -m repro audit zeus --config pref_compr --events 5000
     python -m repro telemetry runs.jsonl
@@ -219,6 +220,59 @@ def cmd_table5(args) -> int:
              100 * (b.speedup_ab - 1), 100 * b.interaction]
         )
     print(table.render())
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    """Rank every prefetcher x compression pair by EQ 5 interaction."""
+    from repro.report.matrix import PREFETCHERS, SCHEMES, run_matrix
+
+    workloads = args.workloads.split(",") if args.workloads else all_names()
+    prefetchers = args.prefetchers.split(",") if args.prefetchers else list(PREFETCHERS)
+    schemes = args.schemes.split(",") if args.schemes else list(SCHEMES)
+    base = make_config(
+        "base",
+        n_cores=args.cores,
+        scale=args.scale,
+        bandwidth_gbs=args.bandwidth or None,
+        infinite_bandwidth=args.bandwidth == 0,
+    )
+    report = run_matrix(
+        workloads,
+        base_config=base,
+        prefetchers=prefetchers,
+        schemes=schemes,
+        seed=args.seed,
+        events=args.events,
+        warmup=args.warmup,
+        progress=(lambda msg: print(msg, file=sys.stderr)) if args.verbose else None,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report.to_csv())
+        print(f"wrote {len(report.cells)} cell(s) to {args.output}", file=sys.stderr)
+    table = Table(
+        ["workload", "prefetcher", "scheme", "pref%", "compr%", "both%", "interaction%"],
+        float_format="{:+.1f}",
+    )
+    for c in report.ranked():
+        table.add_row(
+            [
+                c.workload,
+                c.prefetcher,
+                c.scheme,
+                100 * (c.speedup_pref - 1),
+                100 * (c.speedup_compr - 1),
+                100 * (c.speedup_both - 1),
+                100 * c.interaction,
+            ]
+        )
+    print(table.render())
+    print(
+        f"{report.simulations} simulation(s) for "
+        f"{len(report.workloads)} workload(s) x "
+        f"{len(report.prefetchers)} prefetcher(s) x {len(report.schemes)} scheme(s)"
+    )
     return 0
 
 
@@ -690,6 +744,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", default="", help="comma list (default: all)")
     _add_run_args(p)
     p.set_defaults(func=cmd_table5)
+
+    p = sub.add_parser(
+        "matrix", help="rank prefetcher x compression pairs by EQ 5 interaction"
+    )
+    p.add_argument("--workloads", default="", help="comma list (default: all)")
+    p.add_argument("--prefetchers", default="",
+                   help="comma list of prefetcher kinds incl. 'none' "
+                        "(default: none,stride,sequential,pointer)")
+    p.add_argument("--schemes", default="",
+                   help="comma list of compression schemes incl. 'none' "
+                        "(default: none,fpc,bdi)")
+    p.add_argument("-o", "--output", default="",
+                   help="also write the ranked matrix as CSV")
+    p.add_argument("--verbose", action="store_true",
+                   help="per-simulation progress on stderr")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser("record", help="record a workload trace to a file")
     p.add_argument("workload", choices=all_names())

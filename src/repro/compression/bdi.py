@@ -1,0 +1,244 @@
+"""Base-Delta-Immediate (BDI) compression.
+
+BDI (Pekhimenko et al., PACT'12) compresses a cache line as one or two
+*base* values plus an array of narrow per-chunk *deltas*: the line is cut
+into equal chunks (2, 4 or 8 bytes), and each chunk is stored as a small
+signed delta from either an implicit zero base (the "immediate" part) or
+a single explicit base taken from the line itself.  A one-bit mask per
+chunk records which base it used.  The encoder tries a fixed menu of
+(base size, delta size) pairs plus two degenerate encodings and keeps the
+smallest that fits.
+
+The eight encodings, with their encoded sizes for a 64-byte line (the
+per-chunk base-selection mask is stored explicitly here, so the encoded
+stream is self-describing; the 4-bit encoding id lives in the tag, as in
+the paper, and is not counted):
+
+============== ===== ===== ==========================================
+name           base  delta bytes (base + mask + deltas)
+============== ===== ===== ==========================================
+zeros            --    --   1   (all-zero line)
+rep_values        8    --   8   (one 8-byte value repeated)
+base8_delta1      8     1  17   (8 + 1 + 8x1)
+base4_delta1      4     1  22   (4 + 2 + 16x1)
+base8_delta2      8     2  25   (8 + 1 + 8x2)
+base2_delta1      2     1  38   (2 + 4 + 32x1)
+base4_delta2      4     2  38   (4 + 2 + 16x2)
+base8_delta4      8     4  41   (8 + 1 + 8x4)
+uncompressed     --    --  64
+============== ===== ===== ==========================================
+
+Like :mod:`repro.compression.fpc`, the simulator itself only consumes
+sizes (segment counts via :mod:`repro.compression.segments`); the full
+encoder/decoder exists so the property suite can prove the size
+accounting corresponds to a real, invertible encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compression.fpc import WORDS_PER_LINE
+from repro.params import LINE_BYTES
+
+# (name, base_bytes, delta_bytes, encoded_bytes) in priority order:
+# candidates are tried top to bottom and the first smallest size wins.
+BDI_ENCODINGS: Tuple[Tuple[str, int, int, int], ...] = (
+    ("zeros", 0, 0, 1),
+    ("rep_values", 8, 0, 8),
+    ("base8_delta1", 8, 1, 17),
+    ("base4_delta1", 4, 1, 22),
+    ("base8_delta2", 8, 2, 25),
+    ("base2_delta1", 2, 1, 38),
+    ("base4_delta2", 4, 2, 38),
+    ("base8_delta4", 8, 4, 41),
+    ("uncompressed", 0, 0, LINE_BYTES),
+)
+
+_ENCODING_INDEX: Dict[str, int] = {name: i for i, (name, _, _, _) in enumerate(BDI_ENCODINGS)}
+
+
+def line_to_bytes(words: Sequence[int]) -> bytes:
+    """Join 16 big-endian 32-bit words into the 64-byte line image."""
+    if len(words) != WORDS_PER_LINE:
+        raise ValueError(f"expected {WORDS_PER_LINE} words, got {len(words)}")
+    return b"".join(int(w).to_bytes(4, "big") for w in words)
+
+
+def words_from_bytes(data: bytes) -> List[int]:
+    """Split a 64-byte line image back into 16 big-endian 32-bit words."""
+    if len(data) != LINE_BYTES:
+        raise ValueError(f"expected {LINE_BYTES} bytes, got {len(data)}")
+    return [int.from_bytes(data[i : i + 4], "big") for i in range(0, LINE_BYTES, 4)]
+
+
+def _chunks(data: bytes, size: int) -> List[int]:
+    return [int.from_bytes(data[i : i + size], "big") for i in range(0, len(data), size)]
+
+
+def _sign_extends(delta: int, delta_bytes: int, base_bytes: int) -> bool:
+    """True if the ``base_bytes``-wide modular delta is the sign extension
+    of its low ``delta_bytes * 8`` bits (i.e. it fits the narrow field)."""
+    bits = delta_bytes * 8
+    width = base_bytes * 8
+    low = delta & ((1 << bits) - 1)
+    if low & (1 << (bits - 1)):
+        return delta == (low | (((1 << width) - 1) & ~((1 << bits) - 1)))
+    return delta == low
+
+
+def _try_base_delta(
+    data: bytes, base_bytes: int, delta_bytes: int
+) -> Optional[Tuple[int, List[bool], List[int]]]:
+    """Attempt one (base, delta) encoding of the line bytes.
+
+    Returns ``(base, mask, deltas)`` on success — ``mask[i]`` true when
+    chunk ``i`` is a delta from the explicit base rather than from the
+    implicit zero base — or None when some chunk fits neither base.
+    Deltas are modular (mod 2**(8*base_bytes)), so reconstruction is
+    exact for any chunk values.
+    """
+    modulus = 1 << (base_bytes * 8)
+    chunks = _chunks(data, base_bytes)
+    base: Optional[int] = None
+    mask: List[bool] = []
+    deltas: List[int] = []
+    for chunk in chunks:
+        if _sign_extends(chunk, delta_bytes, base_bytes):
+            mask.append(False)
+            deltas.append(chunk)
+            continue
+        if base is None:
+            base = chunk  # first chunk the zero base cannot cover
+        delta = (chunk - base) % modulus
+        if not _sign_extends(delta, delta_bytes, base_bytes):
+            return None
+        mask.append(True)
+        deltas.append(delta)
+    return (base if base is not None else 0), mask, deltas
+
+
+def classify_line(words: Sequence[int]) -> Tuple[str, int]:
+    """Pick the smallest applicable encoding; return ``(name, bytes)``."""
+    data = line_to_bytes(words)
+    if data == b"\x00" * LINE_BYTES:
+        return "zeros", 1
+    first = data[:8]
+    if data == first * (LINE_BYTES // 8):
+        return "rep_values", 8
+    for name, base_bytes, delta_bytes, size in BDI_ENCODINGS:
+        if delta_bytes == 0:
+            continue
+        if _try_base_delta(data, base_bytes, delta_bytes) is not None:
+            return name, size
+    return "uncompressed", LINE_BYTES
+
+
+def compressed_size_bytes(words: Sequence[int]) -> int:
+    """BDI encoded size in bytes (excludes the 4-bit tag-borne encoding id)."""
+    return classify_line(words)[1]
+
+
+def sizes_for(lines: Sequence[Sequence[int]]) -> List[int]:
+    """Batched :func:`compressed_size_bytes` over many lines.
+
+    Bit-identical to mapping ``compressed_size_bytes`` over ``lines``,
+    but classifies each distinct line once.  Value pools repeat whole
+    lines (every all-zero line is identical, sparse generators collide),
+    so deduplicating at line granularity is the BDI analogue of FPC's
+    per-word payload cache.
+    """
+    cache: Dict[Tuple[int, ...], int] = {}
+    sizes: List[int] = []
+    for words in lines:
+        key = tuple(words)
+        size = cache.get(key)
+        if size is None:
+            size = compressed_size_bytes(words)
+            cache[key] = size
+        sizes.append(size)
+    return sizes
+
+
+def bdi_size(words: Sequence[int]) -> int:
+    """Scheme-registry entry point (mirrors ``schemes.fpc_size``)."""
+    return compressed_size_bytes(words)
+
+
+# ----------------------------------------------------------------------
+# bit-level codec
+#
+# As with FPC, the simulator never decodes payloads; the encoder/decoder
+# pair exists so the property suite can prove that every size reported
+# above corresponds to a real, invertible encoding of the line bytes.
+# ----------------------------------------------------------------------
+
+
+def _pack_mask(mask: Sequence[bool]) -> bytes:
+    out = bytearray((len(mask) + 7) // 8)
+    for i, bit in enumerate(mask):
+        if bit:
+            out[i // 8] |= 0x80 >> (i % 8)
+    return bytes(out)
+
+
+def _unpack_mask(data: bytes, n: int) -> List[bool]:
+    return [bool(data[i // 8] & (0x80 >> (i % 8))) for i in range(n)]
+
+
+def encode_line(words: Sequence[int]) -> Tuple[str, bytes]:
+    """Encode a 16-word line; returns ``(encoding_name, payload)`` with
+    ``len(payload) == compressed_size_bytes(words)``."""
+    data = line_to_bytes(words)
+    name, size = classify_line(words)
+    if name == "zeros":
+        payload = b"\x00"
+    elif name == "rep_values":
+        payload = data[:8]
+    elif name == "uncompressed":
+        payload = data
+    else:
+        _, base_bytes, delta_bytes, _ = BDI_ENCODINGS[_ENCODING_INDEX[name]]
+        encoded = _try_base_delta(data, base_bytes, delta_bytes)
+        assert encoded is not None  # classify_line just proved it fits
+        base, mask, deltas = encoded
+        payload = (
+            base.to_bytes(base_bytes, "big")
+            + _pack_mask(mask)
+            + b"".join((d & ((1 << (delta_bytes * 8)) - 1)).to_bytes(delta_bytes, "big") for d in deltas)
+        )
+    if len(payload) != size:
+        raise ValueError(f"{name} payload is {len(payload)} bytes, expected {size}")
+    return name, payload
+
+
+def decode_line(name: str, payload: bytes) -> List[int]:
+    """Rebuild the 16 words from an :func:`encode_line` result."""
+    index = _ENCODING_INDEX.get(name)
+    if index is None:
+        raise ValueError(f"unknown BDI encoding {name!r}")
+    _, base_bytes, delta_bytes, size = BDI_ENCODINGS[index]
+    if len(payload) != size:
+        raise ValueError(f"{name} payload is {len(payload)} bytes, expected {size}")
+    if name == "zeros":
+        return [0] * WORDS_PER_LINE
+    if name == "rep_values":
+        return words_from_bytes(payload * (LINE_BYTES // 8))
+    if name == "uncompressed":
+        return words_from_bytes(payload)
+    n_chunks = LINE_BYTES // base_bytes
+    modulus = 1 << (base_bytes * 8)
+    base = int.from_bytes(payload[:base_bytes], "big")
+    mask_bytes = (n_chunks + 7) // 8
+    mask = _unpack_mask(payload[base_bytes : base_bytes + mask_bytes], n_chunks)
+    data = bytearray()
+    pos = base_bytes + mask_bytes
+    bits = delta_bytes * 8
+    for i in range(n_chunks):
+        delta = int.from_bytes(payload[pos : pos + delta_bytes], "big")
+        pos += delta_bytes
+        if delta & (1 << (bits - 1)):  # sign-extend the narrow field
+            delta |= (modulus - 1) & ~((1 << bits) - 1)
+        chunk = (base + delta) % modulus if mask[i] else delta
+        data += chunk.to_bytes(base_bytes, "big")
+    return words_from_bytes(bytes(data))

@@ -13,6 +13,10 @@ of the result is FPC-specific?":
   here) only if it shrinks to at most half its size, else store it
   verbatim; this halves the compression-tag space at the cost of
   intermediate ratios.
+* **BDI** (Pekhimenko et al., PACT'12) — *Base-Delta-Immediate*: the
+  line as one explicit base plus narrow per-chunk deltas, with an
+  implicit zero base for small immediates
+  (:mod:`repro.compression.bdi`).
 * **ZeroOnly** — a degenerate scheme that only collapses zero words,
   isolating how much of FPC's benefit comes from zeros (the paper notes
   this dominates for floating-point data).
@@ -121,11 +125,15 @@ def build_scheme(name: str, sample_lines: Sequence[Sequence[int]] = ()) -> Compr
         table = FrequentValueTable()
         table.train(sample_lines)
         return CompressionScheme("fvc", table.encoded_size_bytes)
+    if name == "bdi":
+        from repro.compression.bdi import bdi_size
+
+        return CompressionScheme("bdi", bdi_size)
     raise ValueError(f"unknown compression scheme {name!r}; "
-                     f"choose from fpc, fvc, selective, zero_only")
+                     f"choose from bdi, fpc, fvc, selective, zero_only")
 
 
-SCHEME_NAMES = ("fpc", "fvc", "selective", "zero_only")
+SCHEME_NAMES = ("fpc", "bdi", "fvc", "selective", "zero_only")
 
 
 def compare_schemes(lines: Sequence[Sequence[int]]) -> Dict[str, float]:

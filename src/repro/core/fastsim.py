@@ -180,6 +180,13 @@ def run_events(system, events_per_core: int) -> bool:
     noc_transfer = h.noc.transfer_line
     VSEG = h.values._segments
     VPOOL = h.values.pool_size
+    # Linked-data heap overlay: heap-region addresses are sized from
+    # their actual pointer bytes, so the pool-hash inlining below is
+    # only valid without one.  With a heap the general closures route
+    # through ValueModel.segments_for (and GENERAL below keeps the
+    # fused paths, which keep the inlined lookup, out of the picture).
+    HEAP = getattr(h.values, "heap", None) is not None
+    SEG = h.values.segments_for
     bank_free = h._bank_free  # aliased: busy-until clocks live in place
     if STRIDE:
         iSTR = [pf.streams._streams for pf in PFI]
@@ -594,7 +601,7 @@ def run_events(system, events_per_core: int) -> bool:
                 l2D[sl2] = True
                 cnt[5] += 1  # writebacks
         elif ev_dirty:
-            send_wb(now, VSEG[(ev_addr * 2654435761 >> 7) % VPOOL])
+            send_wb(now, SEG(ev_addr) if HEAP else VSEG[(ev_addr * 2654435761 >> 7) % VPOOL])
             cnt[5] += 1
 
     def inval_other(sl, addr, core):
@@ -690,7 +697,7 @@ def run_events(system, events_per_core: int) -> bool:
             core += 1
         if dirty:
             c2[5] += 1  # writebacks
-            send_wb(now, VSEG[(ev_addr * 2654435761 >> 7) % VPOOL])
+            send_wb(now, SEG(ev_addr) if HEAP else VSEG[(ev_addr * 2654435761 >> 7) % VPOOL])
 
     def fill_l2(core, addr, segments, now, fill_time, store, demand, prefetch,
                 from_l1):
@@ -764,7 +771,7 @@ def run_events(system, events_per_core: int) -> bool:
                 if TAP:
                     ops_append(("C", addr))
                 return rec
-        segments = VSEG[(addr * 2654435761 >> 7) % VPOOL]
+        segments = SEG(addr) if HEAP else VSEG[(addr * 2654435761 >> 7) % VPOOL]
         if CP_ENABLED and not cp_should_compress():
             segments = SEGS8
         if MSHR:
@@ -1555,7 +1562,7 @@ def run_events(system, events_per_core: int) -> bool:
     # the fused names — the default hot path stays byte-identical.
     # ------------------------------------------------------------------
 
-    GENERAL = MSHR or wb is not None or PLRU_I or PLRU_D or PLRU_2
+    GENERAL = MSHR or wb is not None or PLRU_I or PLRU_D or PLRU_2 or HEAP
     if GENERAL:
         def l1_miss_gen(core, addr, now, store, kind):
             if kind == 0:

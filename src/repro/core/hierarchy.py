@@ -34,6 +34,7 @@ from repro.memory.dram import DRAM
 from repro.memory.mshr import MSHRFile, WriteBackBuffer
 from repro.params import SEGMENTS_PER_LINE, SystemConfig
 from repro.prefetch.adaptive import AdaptiveController
+from repro.prefetch.pointer import PointerChasePrefetcher
 from repro.prefetch.sequential import SequentialPrefetcher
 from repro.prefetch.stream_buffer import StreamBufferPool
 from repro.prefetch.stride import StridePrefetcher
@@ -94,6 +95,13 @@ class MemoryHierarchy:
             make_pf = StridePrefetcher
         elif pf_cfg.kind == "sequential":
             make_pf = SequentialPrefetcher
+        elif pf_cfg.kind == "pointer":
+            hierarchy_values = self.values
+
+            def make_pf(level, cfg, adaptive=None, stats=None):
+                return PointerChasePrefetcher(
+                    level, cfg, adaptive=adaptive, stats=stats, values=hierarchy_values
+                )
         else:
             raise ValueError(f"unknown prefetcher kind {pf_cfg.kind!r}")
         self.pf_l1i = [

@@ -23,6 +23,7 @@ from repro.obs import telemetry as _telemetry
 from repro.obs import trace as _trace
 from repro.params import SystemConfig
 from repro.workloads.base import TraceGenerator, WorkloadSpec
+from repro.workloads.linked import HeapModel
 from repro.workloads.registry import get_spec
 from repro.workloads.values import ValueModel
 
@@ -62,7 +63,16 @@ class CMPSystem:
         if engine not in ("ref", "fast"):
             raise ValueError(f"unknown engine {engine!r} (expected 'ref' or 'fast')")
         self.engine = engine
-        self.values = ValueModel(self.spec.value_mix, seed=seed, scheme=config.l2.scheme)
+        # Linked-data workloads carry a deterministic heap graph shared by
+        # the trace generators (which walk it), the value model (which
+        # sizes its pointer bytes) and the pointer-chase prefetcher
+        # (which scans them).  One object, one topology, both engines.
+        heap = None
+        if self.spec.pointer_fraction > 0:
+            heap = HeapModel.from_spec(self.spec, seed=seed)
+        self.values = ValueModel(
+            self.spec.value_mix, seed=seed, scheme=config.l2.scheme, heap=heap
+        )
         self.hierarchy = MemoryHierarchy(config, self.values)
         self.cores: List[CoreTimingModel] = [
             CoreTimingModel(i, cpi_base=self.spec.cpi_base, tolerance=self.spec.tolerance)
@@ -80,6 +90,7 @@ class CMPSystem:
                     l2_lines=config.l2.n_lines,
                     l1i_lines=config.l1i.n_lines,
                     seed=seed,
+                    heap=heap,
                 )
                 for i in range(config.n_cores)
             ]

@@ -86,8 +86,10 @@ class OnChipNetwork:
         return ready_time + self.WIRE_CYCLES + delay
 
     def reset_stats(self) -> None:
+        # Counters only.  The utilization window is *machine* state — it
+        # feeds the congestion delay of future transfers — so clearing it
+        # here would let a warmup-boundary reset perturb post-reset
+        # timing (caught by the reset-conservation property, fuzz seed 53).
         self.transfers = 0
         self.bytes_total = 0
         self.queue_cycles = 0.0
-        self._window_start = 0.0
-        self._window_bytes = 0.0

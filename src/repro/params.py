@@ -85,7 +85,7 @@ class L2Config:
     # workloads this always chooses to compress (Section 2), so the
     # default is plain always-compress.
     adaptive_compression: bool = False
-    # Which line-compression scheme sizes lines ("fpc", "fvc",
+    # Which line-compression scheme sizes lines ("fpc", "bdi", "fvc",
     # "selective", "zero_only"); the paper uses FPC throughout.
     scheme: str = "fpc"
     # Victim selection among a set's valid tags: "lru" or tree "plru"
@@ -128,7 +128,8 @@ class PrefetchConfig:
     enabled: bool = False
     adaptive: bool = False
     # "stride" = the paper's Power4-style prefetcher; "sequential" = the
-    # Dahlgren adaptive next-line baseline.
+    # Dahlgren adaptive next-line baseline; "pointer" = content-directed
+    # pointer-chase prefetching (scan demand fills for heap addresses).
     kind: str = "stride"
     # The paper models separate per-core L2 prefetchers "to reduce stream
     # interference"; True reverts to one shared L2 prefetcher (ablation).
@@ -147,6 +148,10 @@ class PrefetchConfig:
     max_nonunit_stride: int = 64
     counter_max: int = 16
     l1_victim_tags: int = 4
+    # kind="pointer": max prefetches issued per scanned demand fill at
+    # the L2 (the L1s use half, min 1); the adaptive throttle scales the
+    # budget down exactly like the stride prefetcher's startup degree.
+    pointer_degree: int = 4
 
 
 @dataclass(frozen=True)

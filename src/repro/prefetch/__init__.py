@@ -3,6 +3,7 @@
 from repro.prefetch.filter_table import FilterTable, StrideDetector
 from repro.prefetch.stream_table import Stream, StreamTable
 from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.pointer import PointerChasePrefetcher
 from repro.prefetch.adaptive import AdaptiveController
 
 __all__ = [
@@ -11,5 +12,6 @@ __all__ = [
     "Stream",
     "StreamTable",
     "StridePrefetcher",
+    "PointerChasePrefetcher",
     "AdaptiveController",
 ]

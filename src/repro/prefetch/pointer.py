@@ -1,0 +1,96 @@
+"""Content-directed pointer-chase prefetching.
+
+Stride and sequential prefetchers predict *addresses from addresses*;
+linked data structures defeat them because the next address lives in the
+*data*.  Content-directed prefetching (Cooksey et al., ASPLOS'02; the
+linked-structure variant of Srivastava & Navalakha, arXiv:1801.08088)
+closes that gap: when a demand miss pulls a line from the heap region,
+scan its words for values that look like pointers into the heap and
+prefetch the lines they name, up to a degree limit.
+
+This implementation is a drop-in policy object with the same
+``observe_miss`` / ``observe_hit`` interface as
+:class:`repro.prefetch.stride.StridePrefetcher`.  "Looks like a pointer"
+is exact rather than heuristic: candidate 64-bit words (aligned
+big-endian pairs, matching :class:`repro.workloads.linked.HeapModel`'s
+layout) must be line-aligned byte addresses inside the heap region.
+Lines outside the heap — the entire address space of non-linked
+workloads — are never scanned, so the prefetcher is inert unless the
+workload actually builds a heap.
+
+The adaptive throttle plugs in unchanged: the per-fill issue budget is
+``adaptive.startup_count(max_degree)``, so the paper's compression-aware
+controller can scale pointer prefetching exactly as it scales stream
+startups.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.params import LINE_BYTES, PrefetchConfig
+from repro.prefetch.adaptive import AdaptiveController
+from repro.stats.counters import PrefetchStats
+
+# Shared empty result for the no-prefetch case (see stride.py).
+_EMPTY: List[int] = []
+
+
+class PointerChasePrefetcher:
+    __slots__ = ("level", "config", "enabled", "max_degree", "values", "adaptive", "stats")
+
+    def __init__(
+        self,
+        level: str,
+        config: PrefetchConfig,
+        adaptive: "AdaptiveController" = None,
+        stats: "PrefetchStats" = None,
+        values=None,
+    ) -> None:
+        """``values`` is the workload's ValueModel; its ``heap`` attribute
+        (a :class:`~repro.workloads.linked.HeapModel` or None) defines the
+        scannable region and supplies the line bytes."""
+        if level not in ("l1", "l2"):
+            raise ValueError(f"unknown prefetcher level: {level!r}")
+        self.level = level
+        self.config = config
+        self.enabled = config.enabled
+        degree = config.pointer_degree
+        self.max_degree = max(1, degree // 2) if level == "l1" else degree
+        self.values = values
+        self.adaptive = adaptive or AdaptiveController(config.counter_max, enabled=config.adaptive)
+        self.stats = stats if stats is not None else PrefetchStats()
+
+    def observe_miss(self, line_addr: int) -> List[int]:
+        """Scan the line this demand miss fills; return pointed-to lines."""
+        if not self.enabled:
+            return _EMPTY
+        values = self.values
+        heap = getattr(values, "heap", None) if values is not None else None
+        if heap is None or not heap.contains(line_addr):
+            return _EMPTY
+        budget = self.adaptive.startup_count(self.max_degree)
+        self.stats.throttled += self.max_degree - budget
+        if budget <= 0:
+            return _EMPTY
+        words = values.line_words(line_addr)
+        out: List[int] = []
+        for i in range(0, len(words) - 1, 2):
+            candidate = (words[i] << 32) | words[i + 1]
+            if candidate & (LINE_BYTES - 1):
+                continue  # pointers are line-aligned byte addresses
+            target = candidate // LINE_BYTES
+            if target == line_addr or not heap.contains(target):
+                continue
+            if target not in out:
+                out.append(target)
+                if len(out) >= budget:
+                    break
+        if out:
+            self.stats.streams_allocated += 1
+            return out
+        return _EMPTY
+
+    def observe_hit(self, line_addr: int) -> List[int]:
+        """Hits issue nothing: the chase only advances on fills."""
+        return _EMPTY

@@ -1,0 +1,169 @@
+"""Prefetcher x compression interaction matrix (EQ 5 over policy pairs).
+
+The paper's Table 5 fixes one prefetcher (stride) and one compression
+scheme (FPC) and reports the interaction per workload.  This module
+generalises that to the full policy cross product: every registered
+prefetcher family against every compression scheme, each pair scored
+with EQ 5 against the *same* shared baseline::
+
+    Speedup(P, C) = Speedup(P) * Speedup(C) * (1 + Interaction(P, C))
+
+Per (workload, prefetcher, scheme) cell, four runs are needed — base,
+prefetch-only, compression-only, both — but the single-policy runs are
+shared across the row/column, so a full N x M matrix over one workload
+costs ``1 + N' + M' + N'*M'`` simulations (primes exclude the ``none``
+variants, whose pairs are degenerate and score an exact 0.0).
+
+``repro matrix`` is the CLI front end; it renders the ranked cell
+table and optionally writes the full matrix as CSV.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.interaction import interaction_coefficient, speedup
+from repro.core.system import CMPSystem
+from repro.params import SystemConfig
+
+#: Prefetcher family variants the matrix sweeps ("none" = row baseline).
+PREFETCHERS: Tuple[str, ...] = ("none", "stride", "sequential", "pointer")
+
+#: Compression scheme variants ("none" = column baseline).
+SCHEMES: Tuple[str, ...] = ("none", "fpc", "bdi")
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (workload, prefetcher, scheme) pair's EQ 5 decomposition."""
+
+    workload: str
+    prefetcher: str
+    scheme: str
+    speedup_pref: float
+    speedup_compr: float
+    speedup_both: float
+
+    @property
+    def interaction(self) -> float:
+        return interaction_coefficient(
+            self.speedup_both, self.speedup_pref, self.speedup_compr
+        )
+
+
+@dataclass(frozen=True)
+class MatrixReport:
+    """All cells of one matrix sweep, ranked by interaction (best first)."""
+
+    cells: Tuple[MatrixCell, ...]
+    workloads: Tuple[str, ...]
+    prefetchers: Tuple[str, ...]
+    schemes: Tuple[str, ...]
+    simulations: int
+
+    def ranked(self) -> List[MatrixCell]:
+        return sorted(
+            self.cells,
+            key=lambda c: (-c.interaction, c.workload, c.prefetcher, c.scheme),
+        )
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        out.write(
+            "workload,prefetcher,scheme,speedup_pref,speedup_compr,"
+            "speedup_both,interaction\n"
+        )
+        for c in self.ranked():
+            out.write(
+                f"{c.workload},{c.prefetcher},{c.scheme},"
+                f"{c.speedup_pref:.6f},{c.speedup_compr:.6f},"
+                f"{c.speedup_both:.6f},{c.interaction:.6f}\n"
+            )
+        return out.getvalue()
+
+
+def pair_config(base: SystemConfig, prefetcher: str, scheme: str) -> SystemConfig:
+    """The base config with one prefetcher family and one scheme enabled.
+
+    Mirrors the paper's feature combos: prefetching toggles the L1/L2
+    prefetchers with the given kind; compression toggles both cache and
+    link compression with the given scheme (the ``compr`` combo).
+    """
+    cfg = base
+    if prefetcher != "none":
+        cfg = replace(cfg, prefetch=replace(cfg.prefetch, enabled=True, kind=prefetcher))
+    if scheme != "none":
+        cfg = replace(
+            cfg,
+            l2=replace(cfg.l2, compressed=True, scheme=scheme),
+            link=replace(cfg.link, compressed=True),
+        )
+    return cfg
+
+
+def run_matrix(
+    workloads: Sequence[str],
+    *,
+    base_config: SystemConfig,
+    prefetchers: Sequence[str] = PREFETCHERS,
+    schemes: Sequence[str] = SCHEMES,
+    seed: int = 0,
+    events: int = 10_000,
+    warmup: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> MatrixReport:
+    """Sweep every prefetcher x scheme pair over each workload.
+
+    ``base_config`` must have prefetching and compression off; the
+    matrix derives every variant from it with :func:`pair_config` so all
+    cells share one baseline.
+    """
+    if base_config.prefetch.enabled or base_config.l2.compressed:
+        raise ValueError("matrix base config must have prefetching and compression off")
+    if warmup is None:
+        warmup = events
+    cells: List[MatrixCell] = []
+    simulations = 0
+
+    for workload in workloads:
+        runtimes: Dict[Tuple[str, str], float] = {}
+
+        def runtime(prefetcher: str, scheme: str) -> float:
+            nonlocal simulations
+            key = (prefetcher, scheme)
+            if key not in runtimes:
+                cfg = pair_config(base_config, prefetcher, scheme)
+                system = CMPSystem(cfg, workload, seed=seed)
+                result = system.run(events, warmup_events=warmup)
+                runtimes[key] = result.runtime
+                simulations += 1
+                if progress is not None:
+                    progress(f"{workload}: {prefetcher}+{scheme} done")
+            return runtimes[key]
+
+        base_rt = runtime("none", "none")
+        for prefetcher in prefetchers:
+            for scheme in schemes:
+                s_pref = speedup(base_rt, runtime(prefetcher, "none"))
+                s_compr = speedup(base_rt, runtime("none", scheme))
+                s_both = speedup(base_rt, runtime(prefetcher, scheme))
+                cells.append(
+                    MatrixCell(
+                        workload=workload,
+                        prefetcher=prefetcher,
+                        scheme=scheme,
+                        speedup_pref=s_pref,
+                        speedup_compr=s_compr,
+                        speedup_both=s_both,
+                    )
+                )
+
+    return MatrixReport(
+        cells=tuple(cells),
+        workloads=tuple(workloads),
+        prefetchers=tuple(prefetchers),
+        schemes=tuple(schemes),
+        simulations=simulations,
+    )

@@ -54,7 +54,8 @@ from repro.verify.properties import (
     check_reset_conservation,
 )
 from repro.workloads.base import IFETCH, LOAD, STORE
-from repro.workloads.registry import all_names
+from repro.workloads.linked import HEAP_BASE
+from repro.workloads.registry import all_names, get_spec
 
 DEFAULT_CORPUS = ".repro_fuzz"
 
@@ -103,13 +104,13 @@ def random_config(rng) -> SystemConfig:
         decompression_cycles=rng.choice((0, 5)),
         compressed=rng.random() < 0.5,
         adaptive_compression=rng.random() < 0.25,
-        scheme=rng.choice(("fpc", "fpc", "fvc", "selective", "zero_only")),
+        scheme=rng.choice(("fpc", "fpc", "bdi", "fvc", "selective", "zero_only")),
         replacement=rng.choice(("lru", "lru", "plru")),  # tags_per_set is 2/4/8
     )
     prefetch = PrefetchConfig(
         enabled=rng.random() < 0.7,
         adaptive=rng.random() < 0.4,
-        kind=rng.choice(("stride", "stride", "sequential")),
+        kind=rng.choice(("stride", "stride", "sequential", "pointer")),
         shared_l2=rng.random() < 0.25,
         placement=rng.choice(("cache", "cache", "stream_buffer")),
         stream_buffers=rng.choice((2, 4)),
@@ -160,7 +161,9 @@ _PRIVATE_STRIDE = (1 << 36) + 32452843
 _CODE_BASE = (1 << 40) + 104729
 
 
-def _core_events(rng, core: int, n_cores: int, count: int, shared: List[int]) -> List[Tuple[int, int, int]]:
+def _core_events(
+    rng, core: int, n_cores: int, count: int, shared: List[int], heap_lines: int = 0
+) -> List[Tuple[int, int, int]]:
     """One core's event list: a random mixture of the grammar's moves."""
     private = _PRIVATE_BASE + core * _PRIVATE_STRIDE
     # pointer chase: a random permutation cycle over a small block set
@@ -175,7 +178,8 @@ def _core_events(rng, core: int, n_cores: int, count: int, shared: List[int]) ->
     code_pos = 0
     code_lines = rng.choice((4, 64, 256))
     store_frac = rng.uniform(0.05, 0.4)
-    weights = [rng.random() + 0.05 for _ in range(5)]  # stride, chase, shared, hot, ifetch
+    # stride, chase, shared, hot, [heap walk,] ifetch
+    weights = [rng.random() + 0.05 for _ in range(6 if heap_lines else 5)]
     total = sum(weights)
     cum = []
     acc = 0.0
@@ -209,6 +213,11 @@ def _core_events(rng, core: int, n_cores: int, count: int, shared: List[int]) ->
                 hot[rng.randrange(len(hot))] = private + 4096 + rng.randrange(64)
             addr = rng.choice(hot)
             kind = STORE if rng.random() < store_frac else LOAD
+        elif heap_lines and u < cum[4]:  # heap walk (linked-data workloads)
+            # Arbitrary lines in the heap region: exercises the value-model
+            # overlay and gives pointer-chase prefetchers real lines to scan.
+            addr = HEAP_BASE + rng.randrange(heap_lines)
+            kind = STORE if rng.random() < store_frac * 0.5 else LOAD
         else:  # instruction fetch
             code_pos = (code_pos + 1) % code_lines if rng.random() < 0.9 else rng.randrange(code_lines)
             addr = _CODE_BASE + core * 1024 + code_pos
@@ -221,8 +230,10 @@ def random_trace(rng, workload: str, n_cores: int, events_per_core: int) -> Trac
     """A grammar-generated trace, tagged with a registered workload name
     (the name selects the value model that sizes compressed lines)."""
     shared = [_SHARED_BASE + i for i in range(rng.choice((16, 64, 128)))]
+    spec = get_spec(workload)
+    heap_lines = spec.heap_nodes * spec.heap_node_lines if spec.pointer_fraction > 0 else 0
     cores = [
-        _core_events(rng, core, n_cores, events_per_core, shared)
+        _core_events(rng, core, n_cores, events_per_core, shared, heap_lines)
         for core in range(n_cores)
     ]
     header = TraceHeader(
@@ -355,6 +366,10 @@ def _simplifications(config: SystemConfig) -> List[Tuple[str, SystemConfig]]:
         out.append(("link compression off", replace(config, link=replace(config.link, compressed=False))))
     if config.prefetch.enabled:
         out.append(("prefetch off", replace(config, prefetch=replace(config.prefetch, enabled=False))))
+    if config.prefetch.kind == "pointer":
+        out.append(("stride prefetcher", replace(config, prefetch=replace(config.prefetch, kind="stride"))))
+    if config.l2.scheme == "bdi":
+        out.append(("fpc scheme", replace(config, l2=replace(config.l2, scheme="fpc"))))
     if config.prefetch.adaptive:
         out.append(("adaptive pf off", replace(config, prefetch=replace(config.prefetch, adaptive=False))))
     if config.prefetch.placement != "cache":

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.params import SystemConfig
 from repro.prefetch.adaptive import AdaptiveController
+from repro.prefetch.pointer import PointerChasePrefetcher
 from repro.prefetch.sequential import SequentialPrefetcher
 from repro.prefetch.stream_buffer import StreamBufferPool
 from repro.prefetch.stride import StridePrefetcher
@@ -501,6 +502,13 @@ class ReferenceHierarchy:
             make_pf = StridePrefetcher
         elif pf_cfg.kind == "sequential":
             make_pf = SequentialPrefetcher
+        elif pf_cfg.kind == "pointer":
+            oracle_values = self.values
+
+            def make_pf(level, cfg, adaptive=None, stats=None):
+                return PointerChasePrefetcher(
+                    level, cfg, adaptive=adaptive, stats=stats, values=oracle_values
+                )
         else:
             raise ValueError(f"unknown prefetcher kind {pf_cfg.kind!r}")
         self.pf_l1i = [make_pf("l1", pf_cfg, stats=self.pf_stats["l1i"]) for _ in range(n)]

@@ -23,6 +23,10 @@ workload:
 * **irregular accesses** — locality-weighted (heavy-tail) references to
   the private or shared region (``idx = N·u^locality``: larger exponent
   ⇒ hotter head, higher cache hit rates);
+* **pointer chases** — ``pointer_fraction`` of data accesses walk a
+  shared :class:`~repro.workloads.linked.HeapModel` graph, each access
+  landing on the line whose bytes named it (content-directed traffic the
+  stride prefetchers cannot predict);
 * **stores** — a fraction of data accesses write, driving MSI upgrades
   and invalidations in the shared region.
 """
@@ -84,6 +88,14 @@ class WorkloadSpec:
     # behaviour.  Accessed uniformly; part of the private region.
     hot_fraction: float = 0.45
     hot_l1d_factor: float = 0.5  # hot-set size / L1D lines
+    # linked-data heap (repro.workloads.linked): fraction of data accesses
+    # that chase pointers through it, and its geometry.  All-zero defaults
+    # keep the heap (and its RNG draws) completely out of the trace.
+    pointer_fraction: float = 0.0
+    heap_nodes: int = 4096
+    heap_node_lines: int = 1
+    heap_out_degree: int = 2
+    heap_window: int = 64
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.stride_fraction <= 1.0:
@@ -100,8 +112,19 @@ class WorkloadSpec:
             raise ValueError("instr_per_event must be positive")
         if not 0.0 <= self.hot_fraction <= 1.0:
             raise ValueError("hot_fraction must be in [0, 1]")
-        if self.stride_fraction + self.hot_fraction > 1.0:
-            raise ValueError("stride_fraction + hot_fraction must not exceed 1")
+        if not 0.0 <= self.pointer_fraction <= 1.0:
+            raise ValueError("pointer_fraction must be in [0, 1]")
+        if self.stride_fraction + self.hot_fraction + self.pointer_fraction > 1.0:
+            raise ValueError(
+                "stride_fraction + hot_fraction + pointer_fraction must not exceed 1"
+            )
+        if self.pointer_fraction > 0:
+            # Heap geometry only matters when the heap is walked; the
+            # HeapModel re-validates, but fail early with the spec name.
+            if self.heap_nodes < 2 or self.heap_node_lines < 1:
+                raise ValueError("heap needs >= 2 nodes of >= 1 line")
+            if not 1 <= self.heap_out_degree <= 7 or self.heap_window < 1:
+                raise ValueError("heap_out_degree must be 1..7 and heap_window >= 1")
 
 
 class _StreamState:
@@ -124,6 +147,7 @@ class TraceGenerator:
         l2_lines: int,
         l1i_lines: int,
         seed: int = 0,
+        heap=None,
     ) -> None:
         if not 0 <= core_id < n_cores:
             raise ValueError("core_id out of range")
@@ -139,6 +163,15 @@ class TraceGenerator:
         self.hot_lines = max(min(int(spec.hot_l1d_factor * l1i_lines),
                                  self.private_lines // 2), 8)
         self.i_lines = max(int(spec.i_footprint_l1i_factor * l1i_lines), 4)
+
+        if heap is None and spec.pointer_fraction > 0:
+            from repro.workloads.linked import HeapModel
+
+            heap = HeapModel.from_spec(spec, seed=seed)
+        self.heap = heap
+        # Each core starts its chase at its own slice of the heap; the walk
+        # itself is heap-deterministic, only slot choice draws RNG.
+        self._chase_node = (core_id * heap.nodes) // n_cores if heap is not None else 0
 
         self._pc_line = 0  # line offset within the instruction footprint
         self._instr_into_line = 0
@@ -171,12 +204,15 @@ class TraceGenerator:
         # _data_address, inlined below with the same RNG call sequence.
         stride_fraction = spec.stride_fraction
         stride_or_hot = spec.stride_fraction + spec.hot_fraction
+        hot_or_pointer = stride_or_hot + spec.pointer_fraction
         shared_fraction = spec.shared_fraction
         locality = spec.locality
         shared_lines = self.shared_lines
         private_lines = self.private_lines
         private_base = self.private_base
         hot_lines = self.hot_lines
+        heap = self.heap
+        chase_node = self._chase_node
         randrange = rng.randrange
         stream_address = self._stream_address
         pc_line = self._pc_line
@@ -210,6 +246,10 @@ class TraceGenerator:
                 addr = stream_address()
             elif r < stride_or_hot:
                 addr = private_base + randrange(hot_lines)
+            elif r < hot_or_pointer:
+                node = chase_node
+                chase_node = heap.successor(node, randrange(heap.out_degree))
+                addr = heap.node_line(node) + randrange(heap.node_lines)
             elif random_() < shared_fraction:
                 addr = _SHARED_BASE + int(shared_lines * (random_() ** locality))
             else:
@@ -252,12 +292,15 @@ class TraceGenerator:
         rate = 1.0 / mean if mean > 1 else 0.0
         stride_fraction = spec.stride_fraction
         stride_or_hot = spec.stride_fraction + spec.hot_fraction
+        hot_or_pointer = stride_or_hot + spec.pointer_fraction
         shared_fraction = spec.shared_fraction
         locality = spec.locality
         shared_lines = self.shared_lines
         private_lines = self.private_lines
         private_base = self.private_base
         hot_lines = self.hot_lines
+        heap = self.heap
+        chase_node = self._chase_node
         randrange = rng.randrange
         stream_address = self._stream_address
         pc_line = self._pc_line
@@ -293,6 +336,10 @@ class TraceGenerator:
                 addr = stream_address()
             elif r < stride_or_hot:
                 addr = private_base + randrange(hot_lines)
+            elif r < hot_or_pointer:
+                node = chase_node
+                chase_node = heap.successor(node, randrange(heap.out_degree))
+                addr = heap.node_line(node) + randrange(heap.node_lines)
             elif random_() < shared_fraction:
                 addr = _SHARED_BASE + int(shared_lines * (random_() ** locality))
             else:
@@ -309,6 +356,7 @@ class TraceGenerator:
                 count += 1
         self._pc_line = pc_line
         self._instr_into_line = instr_into_line
+        self._chase_node = chase_node
 
     # -- internals ------------------------------------------------------------
 
@@ -325,6 +373,11 @@ class TraceGenerator:
             return self._stream_address()
         if r < spec.stride_fraction + spec.hot_fraction:
             return self.private_base + rng.randrange(self.hot_lines)
+        if r < spec.stride_fraction + spec.hot_fraction + spec.pointer_fraction:
+            heap = self.heap
+            node = self._chase_node
+            self._chase_node = heap.successor(node, rng.randrange(heap.out_degree))
+            return heap.node_line(node) + rng.randrange(heap.node_lines)
         if rng.random() < spec.shared_fraction:
             idx = int(self.shared_lines * (rng.random() ** spec.locality))
             return _SHARED_BASE + idx

@@ -6,10 +6,11 @@ from typing import Dict, List
 
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.commercial import COMMERCIAL
+from repro.workloads.linked import LINKED
 from repro.workloads.scientific import SCIENTIFIC
 
 WORKLOADS: Dict[str, WorkloadSpec] = {
-    spec.name: spec for spec in (*COMMERCIAL, *SCIENTIFIC)
+    spec.name: spec for spec in (*COMMERCIAL, *SCIENTIFIC, *LINKED)
 }
 
 

@@ -10,6 +10,12 @@ and let the real FPC encoder decide how many segments each line needs.
 Lines are drawn from a fixed per-workload pool (default 1024 lines) and
 mapped to addresses by a multiplicative hash, so a given address always
 has the same contents and the resident mix matches the global mix.
+
+Linked-data workloads overlay a :class:`~repro.workloads.linked.HeapModel`
+on top of the pool: addresses inside the heap region return the heap's
+actual node lines (embedded successor pointers and all), sized by the
+active scheme on demand, so the pointer-chase prefetcher and the
+compressor both see the same concrete bytes.
 """
 
 from __future__ import annotations
@@ -18,7 +24,9 @@ import random
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.compression.fpc import WORDS_PER_LINE, sizes_for
+from repro.compression.fpc import compressed_size_bytes as fpc_size_bytes
 from repro.compression.segments import segments_for_size
+from repro.params import LINE_BYTES
 
 _WordGen = Callable[[random.Random], List[int]]
 _MASK32 = 0xFFFFFFFF
@@ -126,6 +134,7 @@ class ValueModel:
         seed: int = 0,
         pool_size: int = 1024,
         scheme: str = "fpc",
+        heap=None,
     ) -> None:
         if not mix:
             raise ValueError("value mix must not be empty")
@@ -151,11 +160,29 @@ class ValueModel:
             self._segments = [
                 segments_for_size(b) for b in sizes_for(self._lines)
             ]
+            self._segments_fn = lambda words: segments_for_size(
+                min(fpc_size_bytes(words), LINE_BYTES)
+            )
+        elif scheme == "bdi":
+            # Batched BDI sizing: distinct lines classified once
+            # (repro.compression.bdi.sizes_for deduplicates whole lines).
+            from repro.compression.bdi import sizes_for as bdi_sizes_for
+            from repro.compression.bdi import compressed_size_bytes as bdi_size_bytes
+
+            self._segments = [
+                segments_for_size(b) for b in bdi_sizes_for(self._lines)
+            ]
+            self._segments_fn = lambda words: segments_for_size(
+                min(bdi_size_bytes(words), LINE_BYTES)
+            )
         else:
             from repro.compression.schemes import build_scheme
 
             built = build_scheme(scheme, sample_lines=self._lines)
             self._segments = [built.segments(w) for w in self._lines]
+            self._segments_fn = built.segments
+        self.heap = heap
+        self._heap_segments: Dict[int, int] = {}
 
     def _index(self, line_addr: int) -> int:
         # Knuth multiplicative hash keeps pool selection uncorrelated with
@@ -163,10 +190,20 @@ class ValueModel:
         return (line_addr * 2654435761 >> 7) % self.pool_size
 
     def segments_for(self, line_addr: int) -> int:
-        """FPC segment count (1-8) for the line at this address."""
+        """Segment count (1-8) for the line at this address."""
+        heap = self.heap
+        if heap is not None and heap.contains(line_addr):
+            segments = self._heap_segments.get(line_addr)
+            if segments is None:
+                segments = self._segments_fn(heap.line_words(line_addr))
+                self._heap_segments[line_addr] = segments
+            return segments
         return self._segments[self._index(line_addr)]
 
     def line_words(self, line_addr: int) -> List[int]:
+        heap = self.heap
+        if heap is not None and heap.contains(line_addr):
+            return heap.line_words(line_addr)
         return list(self._lines[self._index(line_addr)])
 
     def average_segments(self) -> float:

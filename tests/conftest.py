@@ -22,6 +22,49 @@ def _isolated_disk_cache(tmp_path_factory):
         os.environ["REPRO_CACHE_DIR"] = old
 
 
+@pytest.fixture(scope="session")
+def engine_pair_run():
+    """Session-memoized dual-engine runner for system-level suites.
+
+    Runs one (config, workload, seed, events, warmup) point under BOTH
+    engines, asserts their full result dicts are bit-identical, and
+    returns the reference result.  Identical points requested by
+    different tests (or different suites) are simulated once per
+    session — the frozen config dataclasses hash, so the memo key is
+    exact, not approximate.  REPRO_ENGINE is suspended around each pair
+    so an ambient override cannot turn the A/B comparison into A/A.
+    """
+    import os
+    from dataclasses import replace as _replace
+
+    from repro.core.system import CMPSystem
+    from repro.report.export import result_to_full_dict
+
+    cache = {}
+
+    def run(config, workload="oltp", *, seed=3, events=1500, warmup=None):
+        key = (config, workload, seed, events, warmup)
+        if key not in cache:
+            saved = os.environ.pop("REPRO_ENGINE", None)
+            try:
+                results = {}
+                for engine in ("ref", "fast"):
+                    system = CMPSystem(
+                        _replace(config, engine=engine), workload=workload, seed=seed
+                    )
+                    results[engine] = system.run(events, warmup_events=warmup)
+            finally:
+                if saved is not None:
+                    os.environ["REPRO_ENGINE"] = saved
+            assert result_to_full_dict(results["ref"]) == result_to_full_dict(
+                results["fast"]
+            ), f"engines diverged on {workload} seed={seed}"
+            cache[key] = results["ref"]
+        return cache[key]
+
+    return run
+
+
 @pytest.fixture
 def tiny_l1() -> CacheConfig:
     # 16 lines, 2-way, 8 sets

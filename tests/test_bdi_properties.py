@@ -1,0 +1,164 @@
+"""Hypothesis property suite for BDI (repro.compression.bdi).
+
+Mirrors tests/test_fpc_properties.py: the word strategy is deliberately
+biased toward BDI's pattern classes (all-zero lines, one repeated 8-byte
+value, chunks clustered around a shared base at each of the paper's
+(base, delta) geometries) so every encoding in the menu — not just the
+uncompressible fallback — is exercised often.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.bdi import (
+    BDI_ENCODINGS,
+    classify_line,
+    compressed_size_bytes,
+    decode_line,
+    encode_line,
+    line_to_bytes,
+    sizes_for,
+    words_from_bytes,
+)
+from repro.compression.fpc import WORDS_PER_LINE
+from repro.compression.segments import segments_for_size
+from repro.params import LINE_BYTES
+
+_SIZES = {name: size for name, _, _, size in BDI_ENCODINGS}
+
+
+def _base_delta_line(base_bytes: int, delta_bytes: int):
+    """Lines whose chunks cluster around one explicit base and/or zero."""
+    n_chunks = LINE_BYTES // base_bytes
+    modulus = 1 << (base_bytes * 8)
+    half = 1 << (delta_bytes * 8 - 1)
+
+    def build(draw_tuple):
+        base, deltas, use_base = draw_tuple
+        chunks = []
+        for delta, from_base in zip(deltas, use_base):
+            chunks.append((base + delta) % modulus if from_base else delta % modulus)
+        data = b"".join(c.to_bytes(base_bytes, "big") for c in chunks)
+        return words_from_bytes(data)
+
+    return st.tuples(
+        st.integers(0, modulus - 1),
+        st.lists(st.integers(-half, half - 1), min_size=n_chunks, max_size=n_chunks),
+        st.lists(st.booleans(), min_size=n_chunks, max_size=n_chunks),
+    ).map(build)
+
+
+line = st.one_of(
+    st.just([0] * WORDS_PER_LINE),
+    st.tuples(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF)).map(
+        lambda p: list(p) * (WORDS_PER_LINE // 2)
+    ),  # one repeated 8-byte value
+    _base_delta_line(8, 1),
+    _base_delta_line(8, 2),
+    _base_delta_line(8, 4),
+    _base_delta_line(4, 1),
+    _base_delta_line(4, 2),
+    _base_delta_line(2, 1),
+    st.lists(
+        st.integers(0, 0xFFFFFFFF), min_size=WORDS_PER_LINE, max_size=WORDS_PER_LINE
+    ),  # anything
+)
+
+
+@settings(max_examples=300)
+@given(line)
+def test_roundtrip(words):
+    name, payload = encode_line(words)
+    assert decode_line(name, payload) == list(words)
+
+
+@settings(max_examples=300)
+@given(line)
+def test_payload_length_matches_size_function(words):
+    name, payload = encode_line(words)
+    assert len(payload) == compressed_size_bytes(words) == _SIZES[name]
+
+
+@settings(max_examples=300)
+@given(line)
+def test_size_never_exceeds_uncompressed(words):
+    # The headline BDI property: every encoding's size (mask included)
+    # is at most the raw 64-byte line.
+    assert 1 <= compressed_size_bytes(words) <= LINE_BYTES
+
+
+@settings(max_examples=300)
+@given(line)
+def test_classification_is_smallest_fitting_encoding(words):
+    """classify_line must return the first (smallest) fitting entry of the
+    size-ordered menu: no later entry the codec can decode to the same
+    line may be smaller."""
+    name, size = classify_line(words)
+    sizes = [s for _, _, _, s in BDI_ENCODINGS]
+    assert sizes == sorted(sizes)  # menu ordering is the invariant
+    assert size == _SIZES[name]
+
+
+@settings(max_examples=200)
+@given(line)
+def test_segment_count_bounds(words):
+    assert 1 <= segments_for_size(compressed_size_bytes(words)) <= 8
+
+
+@settings(max_examples=200)
+@given(st.lists(line, min_size=1, max_size=8))
+def test_sizes_for_matches_per_line_classification(lines):
+    assert sizes_for(lines) == [compressed_size_bytes(w) for w in lines]
+
+
+def _line_of_chunks(chunks, base_bytes):
+    data = b"".join(c.to_bytes(base_bytes, "big") for c in chunks)
+    return words_from_bytes(data)
+
+
+def test_every_encoding_is_reachable():
+    """One constructed witness line per menu entry, classified exactly."""
+    mod8, mod4, mod2 = 1 << 64, 1 << 32, 1 << 16
+    big8 = 0x0102030405060708  # needs the full 8-byte base
+    big4 = 0x01020304
+    big2 = 0x0102
+    witnesses = {
+        "zeros": [0] * WORDS_PER_LINE,
+        "rep_values": [0xDEADBEEF, 0x01020304] * 8,
+        "base8_delta1": _line_of_chunks([(big8 + i) % mod8 for i in range(8)], 8),
+        "base4_delta1": _line_of_chunks([(big4 + i) % mod4 for i in range(16)], 4),
+        "base8_delta2": _line_of_chunks(
+            [(big8 + 300 * i) % mod8 for i in range(8)], 8
+        ),
+        "base2_delta1": _line_of_chunks([(big2 + i) % mod2 for i in range(32)], 2),
+        "base4_delta2": _line_of_chunks(
+            [(big4 + 300 * i) % mod4 for i in range(16)], 4
+        ),
+        "base8_delta4": _line_of_chunks(
+            [(big8 + 0x100000 * i) % mod8 for i in range(8)], 8
+        ),
+        "uncompressed": [(i * 2654435761) & 0xFFFFFFFF for i in range(16)],
+    }
+    assert set(witnesses) == {name for name, _, _, _ in BDI_ENCODINGS}
+    for name, words in witnesses.items():
+        got, size = classify_line(words)
+        assert got == name, f"expected {name}, classified {got}"
+        enc_name, payload = encode_line(words)
+        assert decode_line(enc_name, payload) == list(words)
+
+
+def test_zero_based_and_explicit_based_chunks_mix():
+    """A line mixing near-zero chunks with near-base chunks uses one
+    explicit base plus the implicit zero base (the 'immediate' part)."""
+    chunks = [3, 0x0102030405060708, 2, 0x0102030405060709] * 2
+    words = _line_of_chunks(chunks, 8)
+    name, _ = classify_line(words)
+    assert name == "base8_delta1"
+    enc, payload = encode_line(words)
+    assert decode_line(enc, payload) == list(words)
+
+
+def test_line_byte_round_trip_helpers():
+    words = [(i * 2654435761) & 0xFFFFFFFF for i in range(16)]
+    assert words_from_bytes(line_to_bytes(words)) == words

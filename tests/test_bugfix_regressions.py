@@ -216,6 +216,55 @@ class TestDroppedPrefetchAccounting:
         assert pf.stats.dropped == before + 1
 
 
+class TestNocResetKeepsTimingState:
+    """``OnChipNetwork.reset_stats`` used to clear the sliding
+    utilization window (``_window_start``/``_window_bytes``) along with
+    the counters.  The window is *machine* state — it feeds the M/D/1
+    congestion delay of future transfers — so a warmup-boundary reset
+    shifted the very next post-reset access latency (one event crossed
+    the 127/128 histogram-bucket boundary), breaking reset conservation.
+    Found by ``repro fuzz`` seed 53."""
+
+    @staticmethod
+    def _noc():
+        from repro.interconnect.noc import OnChipNetwork
+
+        return OnChipNetwork(4, 320.0, 5.0)
+
+    def test_reset_zeroes_counters_but_keeps_the_window(self):
+        noc = self._noc()
+        for i in range(40):
+            noc.transfer_line(0, 10_000.0 + i)
+        window = (noc._window_start, noc._window_bytes)
+        noc.reset_stats()
+        assert (noc.transfers, noc.bytes_total, noc.queue_cycles) == (0, 0, 0.0)
+        assert (noc._window_start, noc._window_bytes) == window
+
+    def test_post_reset_transfer_timing_unperturbed(self):
+        """The next transfer after a reset must complete at exactly the
+        time it would have without the reset."""
+        straight, reset = self._noc(), self._noc()
+        for i in range(40):
+            t_straight = straight.transfer_line(0, 10_000.0 + i)
+            t_reset = reset.transfer_line(0, 10_000.0 + i)
+            assert t_straight == t_reset
+        reset.reset_stats()
+        assert straight.transfer_line(1, 10_040.0) == reset.transfer_line(
+            1, 10_040.0
+        )
+
+    def test_reset_conservation_holds_with_the_noc_enabled(self):
+        from dataclasses import replace
+
+        from repro.params import SystemConfig
+        from repro.verify.properties import check_reset_conservation
+
+        config = replace(SystemConfig(n_cores=4), onchip_bandwidth_gbs=320.0)
+        check_reset_conservation(
+            config, "art", seed=53, warmup=400, events=600
+        )
+
+
 def _kill_self(*_args, **_kwargs):
     os.kill(os.getpid(), signal.SIGKILL)
 

@@ -138,6 +138,31 @@ def test_miss_handling_knobs_keep_engines_identical(key, variant, monkeypatch):
     _assert_identical(results["ref"], results["fast"], f"{key}+{variant}")
 
 
+#: New-policy cross product: the pointer-chase prefetcher (which routes
+#: the fast kernel through its general miss path via the heap overlay)
+#: against every compression scheme family, plus BDI under the existing
+#: prefetcher kinds.  All run the linked-data ``chase`` workload, whose
+#: heap gives the pointer scanner real lines to chase.
+POLICY_PAIRS = [
+    ("pointer", "none"),
+    ("pointer", "fpc"),
+    ("pointer", "bdi"),
+    ("stride", "bdi"),
+    ("sequential", "bdi"),
+]
+
+
+@pytest.mark.parametrize("kind,scheme", POLICY_PAIRS)
+def test_pointer_and_bdi_policies_keep_engines_identical(kind, scheme, engine_pair_run):
+    key = "pref" if scheme == "none" else "pref_compr"
+    cfg = make_config(key, n_cores=2, scale=16)
+    cfg = replace(cfg, prefetch=replace(cfg.prefetch, kind=kind))
+    if scheme != "none":
+        cfg = replace(cfg, l2=replace(cfg.l2, scheme=scheme))
+    # engine_pair_run (conftest) asserts full-dict bit-identity internally.
+    engine_pair_run(cfg, workload="chase", seed=9, events=300, warmup=300)
+
+
 def test_explicit_reset_stats_midstream(monkeypatch):
     """Calling ``reset_stats`` by hand (as the replay/verify tooling
     does) must also leave the engines in lockstep."""

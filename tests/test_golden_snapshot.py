@@ -29,9 +29,11 @@ import pytest
 DATA = Path(__file__).parent / "data" / "golden_snapshots.json"
 
 #: The locked points: one plain, one fully-featured, one adaptive, plus
-#: three variant points covering subsystems the named configs never reach
+#: variant points covering subsystems the named configs never reach
 #: (stream-buffer prefetch placement; the NoC model + open-row DRAM; the
-#: MSHR file + write-back buffer + tree-PLRU miss-handling path).
+#: MSHR file + write-back buffer + tree-PLRU miss-handling path; the
+#: pointer-chase prefetcher and BDI compression over the linked-data
+#: ``chase`` workload's heap overlay).
 POINTS = [
     ("zeus", "base"),
     ("oltp", "pref_compr"),
@@ -39,6 +41,8 @@ POINTS = [
     ("apache", "pref+stream_buffer"),
     ("art", "pref_compr+noc+row_buffer"),
     ("apache", "pref_compr+mshr+wb+plru"),
+    ("chase", "pref+pointer"),
+    ("chase", "pref_compr+pointer+bdi"),
 ]
 
 #: Run parameters for every locked point (small enough for tier 1).
@@ -81,6 +85,10 @@ def _variant_config(key: str):
                 l1d=replace(config.l1d, replacement="plru"),
                 l2=replace(config.l2, replacement="plru"),
             )
+        elif feature == "pointer":
+            config = replace(config, prefetch=replace(config.prefetch, kind="pointer"))
+        elif feature == "bdi":
+            config = replace(config, l2=replace(config.l2, scheme="bdi"))
         else:
             raise ValueError(f"unknown golden variant feature {feature!r}")
     return config

@@ -1,0 +1,123 @@
+"""The prefetcher x compression interaction matrix (repro.report.matrix)
+and its ``repro matrix`` CLI front end."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.core.experiment import make_config
+from repro.report.matrix import (
+    PREFETCHERS,
+    SCHEMES,
+    MatrixCell,
+    pair_config,
+    run_matrix,
+)
+
+_BASE = make_config("base", n_cores=2, scale=16)
+_RUN = dict(seed=0, events=250, warmup=250)
+
+
+class TestPairConfig:
+    def test_base_pair_is_the_baseline(self):
+        assert pair_config(_BASE, "none", "none") == _BASE
+
+    def test_prefetcher_and_scheme_toggled_together(self):
+        cfg = pair_config(_BASE, "pointer", "bdi")
+        assert cfg.prefetch.enabled and cfg.prefetch.kind == "pointer"
+        assert cfg.l2.compressed and cfg.l2.scheme == "bdi"
+        assert cfg.link.compressed  # the paper's 'compr' combo: cache + link
+
+    def test_single_policy_legs(self):
+        pref_only = pair_config(_BASE, "stride", "none")
+        assert pref_only.prefetch.enabled and not pref_only.l2.compressed
+        compr_only = pair_config(_BASE, "none", "fpc")
+        assert compr_only.l2.compressed and not compr_only.prefetch.enabled
+
+
+class TestRunMatrix:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_matrix(["chase"], base_config=_BASE, **_RUN)
+
+    def test_rejects_non_baseline_config(self):
+        with pytest.raises(ValueError):
+            run_matrix(["chase"], base_config=pair_config(_BASE, "stride", "none"), **_RUN)
+
+    def test_full_cross_product_of_cells(self, report):
+        assert len(report.cells) == len(PREFETCHERS) * len(SCHEMES)
+        assert {(c.prefetcher, c.scheme) for c in report.cells} == {
+            (p, s) for p in PREFETCHERS for s in SCHEMES
+        }
+
+    def test_single_policy_runs_are_shared(self, report):
+        """1 base + 3 pref-only + 2 compr-only + 3x2 pairs = 12 sims,
+        not 4 per cell."""
+        n_pref = len(PREFETCHERS) - 1
+        n_schemes = len(SCHEMES) - 1
+        assert report.simulations == 1 + n_pref + n_schemes + n_pref * n_schemes
+
+    def test_degenerate_pairs_score_exactly_zero(self, report):
+        for cell in report.cells:
+            if cell.prefetcher == "none" or cell.scheme == "none":
+                assert cell.interaction == 0.0
+
+    def test_ranking_is_descending_by_interaction(self, report):
+        ranked = report.ranked()
+        assert [c.interaction for c in ranked] == sorted(
+            (c.interaction for c in ranked), reverse=True
+        )
+
+    def test_eq5_decomposition_holds_per_cell(self, report):
+        for c in report.cells:
+            lhs = c.speedup_both
+            rhs = c.speedup_pref * c.speedup_compr * (1 + c.interaction)
+            assert lhs == pytest.approx(rhs)
+
+    def test_csv_round_shape(self, report):
+        lines = report.to_csv().strip().splitlines()
+        assert lines[0] == (
+            "workload,prefetcher,scheme,speedup_pref,speedup_compr,"
+            "speedup_both,interaction"
+        )
+        assert len(lines) == 1 + len(report.cells)
+        assert all(line.startswith("chase,") for line in lines[1:])
+
+
+class TestMatrixCLI:
+    SMALL = ("--events", "250", "--warmup", "250", "--scale", "16", "--cores", "2")
+
+    def test_ranked_table_and_csv(self, capsys, tmp_path):
+        out_csv = tmp_path / "matrix.csv"
+        code = main(
+            ["matrix", "--workloads", "chase", "-o", str(out_csv), *self.SMALL]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "interaction%" in out
+        assert "pointer" in out and "bdi" in out
+        body = out_csv.read_text().strip().splitlines()
+        assert len(body) == 1 + len(PREFETCHERS) * len(SCHEMES)
+
+    def test_policy_subsets(self, capsys):
+        code = main(
+            [
+                "matrix", "--workloads", "chase",
+                "--prefetchers", "none,pointer", "--schemes", "none,bdi",
+                *self.SMALL,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 simulation(s)" in out  # 1 base + 1 pref + 1 compr + 1 pair
+
+    def test_unknown_prefetcher_is_an_operator_error(self, capsys):
+        code = main(
+            ["matrix", "--workloads", "chase", "--prefetchers", "none,psychic",
+             *self.SMALL]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

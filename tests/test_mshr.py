@@ -24,7 +24,6 @@ from repro.params import (
     PrefetchConfig,
     SystemConfig,
 )
-from repro.report.export import result_to_full_dict
 from repro.workloads.base import LOAD
 
 from tests.test_hierarchy import FixedValues
@@ -251,31 +250,27 @@ class TestHierarchyMissHandling:
 # ---------------------------------------------------------------------------
 
 
-def _run(config, workload="oltp", seed=3, events=1500):
-    results = {}
-    for engine in ("ref", "fast"):
-        system = CMPSystem(replace(config, engine=engine), workload=workload, seed=seed)
-        results[engine] = system.run(events)
-    ref, fast = results["ref"], results["fast"]
-    assert result_to_full_dict(ref) == result_to_full_dict(fast)
-    return ref
+# The dual-engine runs go through the session-memoized ``engine_pair_run``
+# fixture (tests/conftest.py): the shared 4-core baseline is simulated once
+# per session, and every pair is checked for cross-engine bit-identity.
+_SMALL = SystemConfig(n_cores=4)
 
 
 class TestSystemLevel:
-    def test_small_mshr_file_changes_ipc(self):
-        base = SystemConfig()
-        unconstrained = _run(base)
-        constrained = _run(
-            replace(base, memory=replace(base.memory, mshr_entries=2))
+    def test_small_mshr_file_changes_ipc(self, engine_pair_run):
+        unconstrained = engine_pair_run(_SMALL)
+        constrained = engine_pair_run(
+            replace(_SMALL, memory=replace(_SMALL.memory, mshr_entries=2))
         )
         assert constrained.extra["mshr_demand_stalls"] > 0
         assert constrained.ipc != unconstrained.ipc
 
-    def test_mshr_counters_exported_only_when_configured(self):
-        base = SystemConfig()
-        plain = _run(base)
+    def test_mshr_counters_exported_only_when_configured(self, engine_pair_run):
+        plain = engine_pair_run(_SMALL)
         assert "mshr_allocations" not in plain.extra
-        withm = _run(replace(base, memory=replace(base.memory, mshr_entries=8)))
+        withm = engine_pair_run(
+            replace(_SMALL, memory=replace(_SMALL.memory, mshr_entries=8))
+        )
         assert withm.extra["mshr_allocations"] > 0
         assert "mshr_coalesced" in withm.extra
         assert "mshr_peak_occupancy" in withm.extra
@@ -299,30 +294,31 @@ class TestSystemLevel:
         counters = {}
         for engine in ("ref", "fast"):
             system = CMPSystem(replace(cfg, engine=engine), workload="apache", seed=3)
-            result, problems = verify_system(system, 4000)
+            result, problems = verify_system(system, 2000)
             assert problems == [], f"{engine}: {problems[:3]}"
             mshr = system.hierarchy.mshr
             counters[engine] = (mshr.allocations, mshr.coalesced, mshr.stalls)
         assert counters["ref"] == counters["fast"]
         assert counters["ref"][1] > 0  # coalesced fills actually happened
 
-    def test_plru_replacement_changes_results_and_engines_agree(self):
-        base = SystemConfig()
-        lru = _run(base)
-        plru = _run(
+    def test_plru_replacement_changes_results_and_engines_agree(self, engine_pair_run):
+        lru = engine_pair_run(_SMALL)
+        plru = engine_pair_run(
             replace(
-                base,
-                l1i=replace(base.l1i, replacement="plru"),
-                l1d=replace(base.l1d, replacement="plru"),
-                l2=replace(base.l2, replacement="plru"),
+                _SMALL,
+                l1i=replace(_SMALL.l1i, replacement="plru"),
+                l1d=replace(_SMALL.l1d, replacement="plru"),
+                l2=replace(_SMALL.l2, replacement="plru"),
             )
         )
         assert plru.ipc != lru.ipc
 
-    def test_writeback_buffer_backpressure_visible_in_results(self):
+    def test_writeback_buffer_backpressure_visible_in_results(self, engine_pair_run):
+        # Write-back pressure needs the full 8-core system; 4 cores never
+        # fill even a one-entry buffer on this workload.
         base = SystemConfig()
         cfg = replace(base, memory=replace(base.memory, writeback_buffer=1))
-        result = _run(cfg, workload="apache", events=3000)
+        result = engine_pair_run(cfg, workload="apache", events=1500)
         assert result.extra["wb_inserted"] > 0
         assert "wb_full_stalls" in result.extra
         assert "wb_peak_occupancy" in result.extra

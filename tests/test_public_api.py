@@ -46,11 +46,12 @@ class TestPublicAPI:
         result = CMPSystem(config, "zeus", seed=0).run(events_per_core=300)
         assert "zeus" in result.summary()
 
-    def test_eight_workloads_registered(self):
+    def test_workloads_registered(self):
         from repro import WORKLOADS
 
         assert set(WORKLOADS) == {
-            "apache", "zeus", "oltp", "jbb", "art", "apsi", "fma3d", "mgrid"
+            "apache", "zeus", "oltp", "jbb", "art", "apsi", "fma3d", "mgrid",
+            "chase",
         }
 
 

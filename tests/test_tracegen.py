@@ -107,7 +107,7 @@ class TestStreams:
 
 class TestSpecValidation:
     def test_all_registered_specs_valid(self):
-        assert len(WORKLOADS) == 8
+        assert len(WORKLOADS) == 9  # paper's 8 + the linked-data chase
         for name, spec in WORKLOADS.items():
             assert spec.name == name
 
