@@ -11,7 +11,10 @@
     python -m repro record zeus trace.rpt --events 20000
     python -m repro replay trace.rpt --config compr
     python -m repro table5
+    python -m repro figure8 --workloads oltp --attribution
     python -m repro matrix --workloads chase -o matrix.csv
+    python -m repro matrix --workloads chase --attribution
+    python -m repro why zeus pref_compr --events 5000
     python -m repro schemes oltp
     python -m repro audit zeus --config pref_compr --events 5000
     python -m repro telemetry runs.jsonl
@@ -225,6 +228,8 @@ def cmd_table5(args) -> int:
 
 def cmd_matrix(args) -> int:
     """Rank every prefetcher x compression pair by EQ 5 interaction."""
+    import os
+
     from repro.report.matrix import PREFETCHERS, SCHEMES, run_matrix
 
     workloads = args.workloads.split(",") if args.workloads else all_names()
@@ -237,6 +242,20 @@ def cmd_matrix(args) -> int:
         bandwidth_gbs=args.bandwidth or None,
         infinite_bandwidth=args.bandwidth == 0,
     )
+    if args.attribution:
+        # The flag's whole point is annotation; an ambient
+        # REPRO_ATTRIBUTION=0 must not silently blank the shares.
+        os.environ.pop("REPRO_ATTRIBUTION", None)
+    # --verbose keeps the legacy one-line-per-simulation log; otherwise
+    # a live progress bar renders when stderr is a terminal.
+    if args.verbose:
+        progress = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
+    elif args.quiet:
+        progress = None
+    else:
+        from repro.obs.progress import default_progress
+
+        progress = default_progress(label="matrix")
     report = run_matrix(
         workloads,
         base_config=base,
@@ -245,34 +264,137 @@ def cmd_matrix(args) -> int:
         seed=args.seed,
         events=args.events,
         warmup=args.warmup,
-        progress=(lambda msg: print(msg, file=sys.stderr)) if args.verbose else None,
+        progress=progress,
+        attribution=args.attribution,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(report.to_csv())
         print(f"wrote {len(report.cells)} cell(s) to {args.output}", file=sys.stderr)
-    table = Table(
-        ["workload", "prefetcher", "scheme", "pref%", "compr%", "both%", "interaction%"],
-        float_format="{:+.1f}",
-    )
+    headers = ["workload", "prefetcher", "scheme", "pref%", "compr%", "both%",
+               "interaction%"]
+    if args.attribution:
+        headers += ["pollution%", "expansion%"]
+    table = Table(headers, float_format="{:+.1f}")
     for c in report.ranked():
-        table.add_row(
-            [
-                c.workload,
-                c.prefetcher,
-                c.scheme,
-                100 * (c.speedup_pref - 1),
-                100 * (c.speedup_compr - 1),
-                100 * (c.speedup_both - 1),
-                100 * c.interaction,
+        row = [
+            c.workload,
+            c.prefetcher,
+            c.scheme,
+            100 * (c.speedup_pref - 1),
+            100 * (c.speedup_compr - 1),
+            100 * (c.speedup_both - 1),
+            100 * c.interaction,
+        ]
+        if args.attribution:
+            row += [
+                100 * (c.pollution_share or 0.0),
+                100 * (c.expansion_share or 0.0),
             ]
-        )
+        table.add_row(row)
     print(table.render())
     print(
         f"{report.simulations} simulation(s) for "
         f"{len(report.workloads)} workload(s) x "
         f"{len(report.prefetchers)} prefetcher(s) x {len(report.schemes)} scheme(s)"
     )
+    return 0
+
+
+def cmd_why(args) -> int:
+    """Run one point with causal attribution on; print the why table."""
+    import os
+    from dataclasses import replace
+
+    cfg = make_config(
+        args.config,
+        n_cores=args.cores,
+        scale=args.scale,
+        bandwidth_gbs=args.bandwidth or None,
+        infinite_bandwidth=args.bandwidth == 0,
+    )
+    cfg = replace(cfg, attribution=True)
+    # The command's whole point is attribution; an ambient
+    # REPRO_ATTRIBUTION=0 must not turn it off, and a path value must
+    # not double-write.
+    os.environ.pop("REPRO_ATTRIBUTION", None)
+    system = CMPSystem(cfg, args.workload, seed=args.seed)
+    warmup = args.warmup if args.warmup is not None else args.events
+    result = system.run(args.events, warmup_events=warmup, config_name=args.config)
+    att = system.hierarchy.attribution
+    print(
+        f"{args.workload}/{args.config}: {result.events} event(s), "
+        f"{result.l2.demand_misses} L2 demand miss(es), "
+        f"{result.l2.evictions} L2 eviction(s)"
+    )
+    print(att.table())
+    if args.output:
+        att.write(args.output)
+        print(f"wrote attribution JSON to {args.output}")
+    problems = att.reconcile_result(result)
+    if problems:
+        for problem in problems:
+            print(f"reconcile: {problem}", file=sys.stderr)
+        return 1
+    print("attribution reconciles exactly with the stats counters")
+    return 0
+
+
+def cmd_figure8(args) -> int:
+    """Figure 8's four-run miss classification, per workload; with
+    ``--attribution``, also the measured-vs-estimated delta."""
+    import os
+    from dataclasses import replace
+
+    from repro.core.missclass import classify_misses
+
+    if args.attribution:
+        os.environ.pop("REPRO_ATTRIBUTION", None)
+    workloads = args.workloads.split(",") if args.workloads else all_names()
+    warmup = args.warmup if args.warmup is not None else args.events
+    for workload in workloads:
+        runs = {}
+        trackers = {}
+        for key in ("base", "compr", "pref", "pref_compr"):
+            cfg = make_config(
+                key,
+                n_cores=args.cores,
+                scale=args.scale,
+                bandwidth_gbs=args.bandwidth or None,
+                infinite_bandwidth=args.bandwidth == 0,
+            )
+            if args.attribution:
+                cfg = replace(cfg, attribution=True)
+            system = CMPSystem(cfg, workload, seed=args.seed)
+            runs[key] = system.run(
+                args.events, warmup_events=warmup, config_name=key
+            )
+            trackers[key] = system.hierarchy.attribution
+        cls = classify_misses(
+            runs["base"], runs["compr"], runs["pref"], runs["pref_compr"]
+        )
+        print(cls.rows())
+        if args.attribution:
+            # Estimator (four-run set arithmetic) vs ground truth (the
+            # per-event ledgers of the single-policy runs): prefetching's
+            # avoided misses against useful prefetches, compression's
+            # against demand hits beyond the uncompressed stack depth.
+            measured_p = trackers["pref"].pf_useful / cls.base_misses
+            measured_c = (
+                trackers["compr"].comp_avoided_hits / cls.base_misses
+            )
+            est_p = cls.avoided_by_prefetching
+            est_c = cls.avoided_by_compression
+            print(
+                f"{'':8s} prefetching: estimated {est_p * 100:5.1f}% "
+                f"measured {measured_p * 100:5.1f}% "
+                f"(delta {(measured_p - est_p) * 100:+.1f}%)"
+            )
+            print(
+                f"{'':8s} compression: estimated {est_c * 100:5.1f}% "
+                f"measured {measured_c * 100:5.1f}% "
+                f"(delta {(measured_c - est_c) * 100:+.1f}%)"
+            )
     return 0
 
 
@@ -759,8 +881,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the ranked matrix as CSV")
     p.add_argument("--verbose", action="store_true",
                    help="per-simulation progress on stderr")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the live progress bar")
+    p.add_argument("--attribution", action="store_true",
+                   help="annotate each cell with measured pollution/"
+                        "expansion miss shares (causal attribution)")
     _add_run_args(p)
     p.set_defaults(func=cmd_matrix)
+
+    p = sub.add_parser(
+        "why", help="run one point with causal attribution; print the why table"
+    )
+    p.add_argument("workload", choices=all_names())
+    p.add_argument("config", nargs="?", default="pref_compr",
+                   choices=sorted(CONFIG_FEATURES))
+    p.add_argument("-o", "--output", default="",
+                   help="also write the attribution ledgers as JSON")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_why)
+
+    p = sub.add_parser(
+        "figure8", help="Figure 8 miss classification from four runs"
+    )
+    p.add_argument("--workloads", default="", help="comma list (default: all)")
+    p.add_argument("--attribution", action="store_true",
+                   help="also run with causal attribution and print the "
+                        "measured-vs-estimated delta")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_figure8)
 
     p = sub.add_parser("record", help="record a workload trace to a file")
     p.add_argument("workload", choices=all_names())

@@ -85,8 +85,9 @@ def point_key(
 ) -> str:
     """Stable content hash identifying one simulation point.
 
-    Observability knobs (auditing, tracing, metrics) are stripped from
-    the hashed config: they never change simulation results — the audit
+    Observability knobs (auditing, tracing, metrics, attribution) are
+    stripped from the hashed config: they never change simulation
+    results — the audit
     and obs test suites prove bit-identical fingerprints — so toggling
     them must not split the cache into parallel universes of identical
     results.  The ``engine`` selector is stripped for the same reason:
@@ -97,7 +98,7 @@ def point_key(
     cfg = asdict(config)
     for observability_field in (
         "audit", "audit_interval", "trace", "metrics", "metrics_interval",
-        "engine",
+        "attribution", "engine",
     ):
         cfg.pop(observability_field, None)
     payload = {
@@ -201,6 +202,16 @@ class DiskCache:
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             payload = result_to_full_dict(result)
+            extra = payload.get("extra", {})
+            if any(k.startswith("attr_") for k in extra):
+                # Attribution rows are observations about one run, and
+                # the key above deliberately ignores the attribution
+                # knob; strip them so a cached entry is the same bytes
+                # whether the producing run had attribution on or off.
+                payload["extra"] = {
+                    k: v for k, v in extra.items()
+                    if not k.startswith("attr_")
+                }
             digest = _checksum(payload)
             if faults.should("corrupt", token=key) is not None:
                 # Model silent bit rot: the entry stays valid JSON, so

@@ -163,6 +163,11 @@ def run_events(system, events_per_core: int) -> bool:
     pf2_stats = h.pf_stats["l2"]
     l2ad = h.l2_adaptive
     tax = h.taxonomy
+    # Causal attribution tracker (repro.obs.attribution).  Hooks take
+    # scalars only, so the flat kernel drives the same tracker through
+    # the same call sequence as the reference engine.  Non-None forces
+    # the GENERAL closures below so the fused hot paths stay hook-free.
+    ATTR = h.attribution
     cstats = h.compression_stats
     cp = h.compression_policy
     CP_ENABLED = cp.enabled
@@ -583,10 +588,12 @@ def run_events(system, events_per_core: int) -> bool:
         ol.insert(0, sl)
         return ev
 
-    def handle_l1_ev(core, ev, pf, cnt, level, now):
+    def handle_l1_ev(core, ev, pf, cnt, level, now, cause="demand_fill"):
         # MemoryHierarchy._handle_l1_eviction
         ev_addr, ev_dirty, ev_pfu = ev
         cnt[6] += 1  # evictions
+        if ATTR is not None:
+            ATTR.on_l1_evict(level, core, ev_addr, cause)
         if ev_pfu:
             pf.stats.useless += 1
             pf.adaptive.on_useless()
@@ -619,11 +626,15 @@ def run_events(system, events_per_core: int) -> bool:
             lev = l1_inval_i(sharer, addr)
             if lev is not None:
                 ci[8] += 1  # coherence_invalidations
+                if ATTR is not None:
+                    ATTR.on_l1_evict("l1i", sharer, addr, "upgrade")
                 if lev[0]:
                     l2D[sl] = True
             lev = l1_inval_d(sharer, addr)
             if lev is not None:
                 cd[8] += 1
+                if ATTR is not None:
+                    ATTR.on_l1_evict("l1d", sharer, addr, "upgrade")
                 if lev[0]:
                     l2D[sl] = True
             # Directory.remove_sharer, inlined.
@@ -663,9 +674,11 @@ def run_events(system, events_per_core: int) -> bool:
         l2D[sl] = True
         return cost
 
-    def handle_l2_ev(ev_addr, ev_dirty, ev_pfu, ev_sh, now):
+    def handle_l2_ev(ev_addr, ev_dirty, ev_pfu, ev_sh, now, cause="demand_fill"):
         # MemoryHierarchy._handle_l2_eviction
         c2[6] += 1  # evictions
+        if ATTR is not None:
+            ATTR.on_l2_evict(ev_addr, cause)
         if ev_pfu:
             pf2_stats.useless += 1
             l2ad.on_useless()
@@ -678,6 +691,8 @@ def run_events(system, events_per_core: int) -> bool:
                 lev = l1_inval_i(core, ev_addr)
                 if lev is not None:
                     ci[8] += 1
+                    if ATTR is not None:
+                        ATTR.on_l1_evict("l1i", core, ev_addr, "inclusion")
                     dirty = dirty or lev[0]
                     if lev[1]:
                         pf = PFI[core]
@@ -687,6 +702,8 @@ def run_events(system, events_per_core: int) -> bool:
                 lev = l1_inval_d(core, ev_addr)
                 if lev is not None:
                     cd[8] += 1
+                    if ATTR is not None:
+                        ATTR.on_l1_evict("l1d", core, ev_addr, "inclusion")
                     dirty = dirty or lev[0]
                     if lev[1]:
                         pf = PFD[core]
@@ -711,6 +728,15 @@ def run_events(system, events_per_core: int) -> bool:
         else:
             cstats.uncompressed_lines += 1
         cstats.segment_sum += segments
+        if ATTR is not None:
+            # Pre-clamp segments, matching the reference-engine hook.
+            ATTR.on_l2_fill(
+                addr,
+                "l2_prefetch" if prefetch and not from_l1
+                else "l1_prefetch" if from_l1
+                else "demand",
+                segments,
+            )
         if not L2_COMPRESSED:
             segments = SEGS8
         si = addr % L2_NSETS
@@ -759,8 +785,9 @@ def run_events(system, events_per_core: int) -> bool:
         if PLRU_2:
             l2PL[si] = plru_touch(l2PL[si], l2W[sl], L2_TAGS)
         if evs is not None:
+            cause = "prefetch_fill" if (prefetch or from_l1) else "demand_fill"
             for ev_addr, ev_dirty, ev_pfu, ev_sh in evs:
-                handle_l2_ev(ev_addr, ev_dirty, ev_pfu, ev_sh, now)
+                handle_l2_ev(ev_addr, ev_dirty, ev_pfu, ev_sh, now, cause)
 
     def fetch_line(core, addr, request_ready, demand):
         # MemoryHierarchy._fetch_line (ValueModel.segments_for inlined).
@@ -820,6 +847,16 @@ def run_events(system, events_per_core: int) -> bool:
                         break
                     depth += 1
                 cp_on_hit(depth, L2_UNCOMP_ASSOC, line_compressed)
+            if ATTR is not None and demand:
+                # Stack depth before the LRU touch, as in the reference.
+                depth = 0
+                for s0 in vs:
+                    if l2A[s0] == addr:
+                        break
+                    depth += 1
+                ATTR.on_l2_demand_hit(
+                    addr, depth >= L2_UNCOMP_ASSOC, l2F[sl] > now
+                )
             first_access = demand or from_l1
             ft = l2F[sl]
             if ft > now:
@@ -889,6 +926,8 @@ def run_events(system, events_per_core: int) -> bool:
                 return latency
         if demand:
             c2[1] += 1  # demand_misses
+            if ATTR is not None:
+                ATTR.on_l2_demand_miss(addr)
             if PF_ON:
                 si = addr % L2_NSETS
                 matched = False
@@ -960,9 +999,11 @@ def run_events(system, events_per_core: int) -> bool:
         tax.on_issued(level)
         latency = l2_access(core, addr, now, False, False, True, True)
         if addr in l2mp:  # nested-prefetch inclusion guard
+            if ATTR is not None:
+                ATTR.on_l1_fill(level, core, addr, "prefetch")
             ev = ins(core, addr, SHARED, False, True, now + fill_lat + latency)
             if ev is not None:
-                handle_l1_ev(core, ev, pf, cnt, level, now)
+                handle_l1_ev(core, ev, pf, cnt, level, now, "prefetch_fill")
 
     def issue_l2_pf(core, addr, now):
         # MemoryHierarchy._issue_l2_prefetch (+ native OpTap record).
@@ -1556,13 +1597,15 @@ def run_events(system, events_per_core: int) -> bool:
     # ------------------------------------------------------------------
     # general demand-miss path: the fused specializations above assume
     # the default miss-handling model (no MSHR file, unbuffered
-    # write-backs, LRU replacement).  When any realism knob is on,
+    # write-backs, LRU replacement) and carry no attribution hooks.
+    # When any realism knob — or the attribution tracker — is on,
     # demand misses route through this direct transcription of
     # MemoryHierarchy._l1_miss built on the general closures, shadowing
     # the fused names — the default hot path stays byte-identical.
     # ------------------------------------------------------------------
 
-    GENERAL = MSHR or wb is not None or PLRU_I or PLRU_D or PLRU_2 or HEAP
+    GENERAL = (MSHR or wb is not None or PLRU_I or PLRU_D or PLRU_2 or HEAP
+               or ATTR is not None)
     if GENERAL:
         def l1_miss_gen(core, addr, now, store, kind):
             if kind == 0:
@@ -1590,6 +1633,8 @@ def run_events(system, events_per_core: int) -> bool:
             if NOC_ON:
                 total = noc_transfer(core, now + total) - now
             if addr in l2mp:  # inclusion guard (see _l1_miss)
+                if ATTR is not None:
+                    ATTR.on_l1_fill(level, core, addr, "demand")
                 ev = ins(core, addr, MODIFIED if store else SHARED, store,
                          False, now + total)
                 if ev is not None:

@@ -140,6 +140,9 @@ class MemoryHierarchy:
         # tracer is strictly read-only, so results are bit-identical
         # with tracing on or off.
         self.tracer = None
+        # Opt-in causal attribution (repro.obs.attribution): same
+        # contract as the tracer — read-only, one branch per site off.
+        self.attribution = None
         # Hot-path scalars: the access path runs once per trace event, so
         # repeated ``self.config.*`` attribute chains are hoisted here.
         self._l1i_lat = float(config.l1i.hit_latency)
@@ -176,6 +179,17 @@ class MemoryHierarchy:
             pfd.adaptive.trace_hook = tracer.adaptive_hook(f"l1d.core{core}")
         self.l2_adaptive.trace_hook = tracer.adaptive_hook("l2")
         self.compression_policy.trace_hook = tracer.compression_hook()
+        if self.attribution is not None:
+            self.attribution.trace_hook = tracer.attribution_hook()
+
+    def attach_attribution(self, tracker) -> None:
+        """Install a causal-attribution tracker
+        (:class:`repro.obs.attribution.AttributionTracker`).  Read-only
+        by contract; when a tracer is also attached (in either order)
+        miss classifications additionally fire control-track instants."""
+        self.attribution = tracker
+        if self.tracer is not None:
+            tracker.trace_hook = self.tracer.attribution_hook()
 
     def _rebuild_routes(self) -> None:
         """Precompute per-(core, kind) routing tuples for the access path.
@@ -332,6 +346,8 @@ class MemoryHierarchy:
             self.wb.reset_stats()
         self._l2_access_count = 0
         self.compression_policy.reset_stats()
+        if self.attribution is not None:
+            self.attribution.reset_counters()
         self._rebuild_routes()
 
     # ------------------------------------------------------------------
@@ -361,6 +377,9 @@ class MemoryHierarchy:
         # the eviction's back-invalidate ran before the L1 had the line.
         l2e = self.l2._map.get(addr)  # CompressedSetCache.probe, inlined
         if l2e is not None and l2e.valid:
+            att = self.attribution
+            if att is not None:
+                att.on_l1_fill(level, core, addr, "demand")
             ev = l1.insert(
                 addr, MSIState.MODIFIED if store else MSIState.SHARED, store, False, now + total
             )
@@ -371,8 +390,14 @@ class MemoryHierarchy:
                 self._issue_l1_prefetch(core, kind, p, now)
         return total, False
 
-    def _handle_l1_eviction(self, core, ev: Eviction, pf, stats, level: str, now: float) -> None:
+    def _handle_l1_eviction(
+        self, core, ev: Eviction, pf, stats, level: str, now: float,
+        cause: str = "demand_fill",
+    ) -> None:
         stats.evictions += 1
+        att = self.attribution
+        if att is not None:
+            att.on_l1_evict(level, core, ev.addr, cause)
         if ev.prefetch_untouched:
             pf.stats.useless += 1
             pf.adaptive.on_useless()
@@ -466,6 +491,14 @@ class MemoryHierarchy:
                 cp.on_hit(
                     l2.stack_depth(addr), self.config.l2.uncompressed_assoc, line_compressed
                 )
+            att = self.attribution
+            if att is not None and demand:
+                # Stack depth must be read before the LRU touch below.
+                att.on_l2_demand_hit(
+                    addr,
+                    l2.stack_depth(addr) >= self.config.l2.uncompressed_assoc,
+                    entry.fill_time > now,
+                )
             # The prefetch bit resets on the *first access* to the line —
             # including an L1 prefetch consuming an L2-prefetched line
             # (the L2 prefetch did provide the data the core later used).
@@ -523,6 +556,9 @@ class MemoryHierarchy:
                 return hit
         if demand:
             l2s.demand_misses += 1
+            att = self.attribution
+            if att is not None:
+                att.on_l2_demand_miss(addr)
             if (
                 self._pf_on
                 and l2.victim_match(addr)
@@ -640,6 +676,17 @@ class MemoryHierarchy:
         owner = core if store else -1
         state = MSIState.MODIFIED if store else MSIState.SHARED
         self.note_line_compression(segments)
+        att = self.attribution
+        if att is not None:
+            # Same pre-clamp segments note_line_compression sees; the
+            # tracker gates its compression ledger on l2.compressed.
+            att.on_l2_fill(
+                addr,
+                "l2_prefetch" if prefetch and not from_l1_prefetch
+                else "l1_prefetch" if from_l1_prefetch
+                else "demand",
+                segments,
+            )
         evictions = self.l2.insert(
             addr,
             segments,
@@ -652,11 +699,19 @@ class MemoryHierarchy:
             owner=owner,
             state=state,
         )
+        cause = (
+            "prefetch_fill" if (prefetch or from_l1_prefetch) else "demand_fill"
+        )
         for ev in evictions:
-            self._handle_l2_eviction(ev, now)
+            self._handle_l2_eviction(ev, now, cause)
 
-    def _handle_l2_eviction(self, ev: Eviction, now: float) -> None:
+    def _handle_l2_eviction(
+        self, ev: Eviction, now: float, cause: str = "demand_fill"
+    ) -> None:
         self.l2_stats.evictions += 1
+        att = self.attribution
+        if att is not None:
+            att.on_l2_evict(ev.addr, cause)
         if ev.prefetch_untouched:
             self.pf_stats["l2"].useless += 1
             self.l2_adaptive.on_useless()
@@ -673,6 +728,8 @@ class MemoryHierarchy:
                     l1ev = l1.invalidate(ev.addr)
                     if l1ev is not None:
                         stats.coherence_invalidations += 1
+                        if att is not None:
+                            att.on_l1_evict(level, core, ev.addr, "inclusion")
                         dirty = dirty or l1ev.dirty
                         if l1ev.prefetch_untouched:
                             pf.stats.useless += 1
@@ -703,14 +760,17 @@ class MemoryHierarchy:
 
     def _invalidate_other_sharers(self, entry, core: int) -> float:
         cost = 0.0
+        att = self.attribution
         for sharer in list(self.directory.other_sharers(entry, core)):
-            for l1, stats in (
-                (self.l1i[sharer], self.l1i_stats),
-                (self.l1d[sharer], self.l1d_stats),
+            for l1, stats, level in (
+                (self.l1i[sharer], self.l1i_stats, "l1i"),
+                (self.l1d[sharer], self.l1d_stats, "l1d"),
             ):
                 l1ev = l1.invalidate(entry.addr)
                 if l1ev is not None:
                     stats.coherence_invalidations += 1
+                    if att is not None:
+                        att.on_l1_evict(level, sharer, entry.addr, "upgrade")
                     if l1ev.dirty:
                         entry.dirty = True
             self.directory.remove_sharer(entry, sharer)
@@ -769,9 +829,14 @@ class MemoryHierarchy:
         # again before the L1 could take it (see _l1_miss).
         l2e = self.l2._map.get(addr)  # CompressedSetCache.probe, inlined
         if l2e is not None and l2e.valid:
+            att = self.attribution
+            if att is not None:
+                att.on_l1_fill(route[5], core, addr, "prefetch")
             ev = l1.insert(addr, MSIState.SHARED, False, True, now + route[4] + latency)
             if ev is not None:
-                self._handle_l1_eviction(core, ev, pf, route[2], route[5], now)
+                self._handle_l1_eviction(
+                    core, ev, pf, route[2], route[5], now, "prefetch_fill"
+                )
 
     def _issue_l2_prefetch(self, core: int, addr: int, now: float) -> None:
         if addr < 0:

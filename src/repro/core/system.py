@@ -17,6 +17,7 @@ from repro.core import fastsim as _fastsim
 from repro.core.hierarchy import MemoryHierarchy
 from repro.core.results import SimulationResult
 from repro.cpu.core import CoreTimingModel
+from repro.obs import attribution as _attribution
 from repro.obs import audit as _audit
 from repro.obs import metrics as _metrics
 from repro.obs import telemetry as _telemetry
@@ -127,6 +128,13 @@ class CMPSystem:
             if _metrics.metrics_enabled(config)
             else None
         )
+        # Opt-in causal attribution (repro.obs.attribution).  Read-only
+        # like trace/metrics, but hook data are scalars, so the fast
+        # kernel drives the tracker too — no engine fallback needed.
+        if _attribution.attribution_enabled(config):
+            self.hierarchy.attach_attribution(
+                _attribution.AttributionTracker(config)
+            )
 
     # ------------------------------------------------------------------
 
@@ -194,6 +202,7 @@ class CMPSystem:
             audit_checks=self.auditor.checks_run if self.auditor is not None else 0,
             trace_events=len(tracer.events) if tracer is not None else 0,
             metrics_samples=self.sampler.samples if self.sampler is not None else 0,
+            attribution=self.hierarchy.attribution is not None,
         )
         # Path-valued env knobs auto-write the artifacts at end of run
         # (mirroring REPRO_AUDIT's path behaviour).
@@ -205,6 +214,10 @@ class CMPSystem:
             out = _metrics.metrics_path()
             if out:
                 self.sampler.write(out)
+        if self.hierarchy.attribution is not None:
+            out = _attribution.attribution_path()
+            if out:
+                self.hierarchy.attribution.write(out)
         return result
 
     def _run_events(self, events_per_core: int) -> None:
@@ -340,6 +353,11 @@ class CMPSystem:
             extra["wb_inserted"] = float(h.wb.inserted)
             extra["wb_full_stalls"] = float(h.wb.full_stalls)
             extra["wb_peak_occupancy"] = float(h.wb.peak_occupancy)
+        if h.attribution is not None:
+            # attr_* rows are observations about the run, not simulation
+            # state: result_fingerprint strips them so attribution stays
+            # bit-identical off/on.
+            extra.update(h.attribution.to_extra())
         return SimulationResult(
             workload=self.spec.name,
             config_name=config_name,

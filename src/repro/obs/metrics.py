@@ -139,6 +139,10 @@ def _compr(s):
     return s.hierarchy.compression_stats
 
 
+def _attr(s):
+    return s.hierarchy.attribution
+
+
 def default_registry() -> MetricsRegistry:
     """The standard metric set: IPC, miss rates, compression, link
     utilization, prefetch quality, and the adaptive counters.
@@ -197,6 +201,28 @@ def default_registry() -> MetricsRegistry:
             lambda s: float(s.hierarchy.mshr.occupancy(
                 getattr(s, "_sampler_cycle", 0.0)))
             if s.hierarchy.mshr is not None else 0.0)
+    # Causal-attribution interval rates (repro.obs.attribution); the
+    # columns read 0.0 when the tracker is not attached.  As rates over
+    # cumulative counters they sample the *interval's* pollution share
+    # and prefetch usefulness, not the running total.
+    r.rate("attr_pollution_rate",
+           lambda s: float(_attr(s).miss_class["pollution"])
+           if _attr(s) is not None else 0.0,
+           lambda s: float(_attr(s).classified_misses())
+           if _attr(s) is not None else 0.0)
+    r.rate("attr_compulsory_rate",
+           lambda s: float(_attr(s).miss_class["compulsory"])
+           if _attr(s) is not None else 0.0,
+           lambda s: float(_attr(s).classified_misses())
+           if _attr(s) is not None else 0.0)
+    r.rate("attr_pf_useful_rate",
+           lambda s: float(_attr(s).pf_useful)
+           if _attr(s) is not None else 0.0,
+           lambda s: float(_attr(s).pf_useful + _attr(s).pf_useless)
+           if _attr(s) is not None else 0.0)
+    r.gauge("attr_comp_avoided_hits",
+            lambda s: float(_attr(s).comp_avoided_hits)
+            if _attr(s) is not None else 0.0)
     return r
 
 

@@ -34,7 +34,12 @@ Kinds emitted by the simulator stack:
   a timed-out point;
 * ``point-timeout`` — one per point killed by ``REPRO_POINT_TIMEOUT``;
 * ``journal`` — one per checkpointed sweep: journal path, points loaded
-  on resume, points recorded.
+  on resume, points recorded;
+* ``matrix-point`` — one per simulated interaction-matrix point
+  (:func:`repro.report.matrix.run_matrix`): workload, prefetcher,
+  scheme, runtime, done/total progress;
+* ``matrix`` — one per matrix sweep: axis lists, cell and simulation
+  counts, whether attribution annotation was on, wall seconds.
 
 Read the stream back with ``repro telemetry <file>`` (see
 :mod:`repro.cli`), which aggregates per-kind counts and rates.

@@ -226,6 +226,20 @@ class Tracer:
             )
         return hook
 
+    def attribution_hook(self):
+        """A classification hook for the causal-attribution tracker
+        (:class:`repro.obs.attribution.AttributionTracker`): called with
+        ``(kind, addr)`` as each demand miss is classified, emitting an
+        ``attr.miss.<class>`` instant on the control track.  Only miss
+        classifications are surfaced — per-eviction instants would flood
+        the bounded trace buffer with the least interesting events.
+        Timestamps come from :attr:`now` (the tracker has no clock)."""
+        tid = self.control_tid
+
+        def hook(kind: str, addr: int) -> None:
+            self.instant(tid, "attr." + kind, self.now, ("addr", addr))
+        return hook
+
     # -- export -------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:

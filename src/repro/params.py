@@ -234,6 +234,14 @@ class SystemConfig:
     trace: bool = False
     metrics: bool = False
     metrics_interval: int = 5000
+    # Opt-in causal attribution (repro.obs.attribution): tag every
+    # cached line with its inserter, record every eviction's cause, and
+    # classify each demand miss online into compulsory / capacity /
+    # pollution / expansion via per-set shadow victim-tag filters.
+    # ``REPRO_ATTRIBUTION`` overrides the flag (a path value also names
+    # the JSON output file).  Read-only like trace/metrics: results are
+    # bit-identical with attribution on or off.
+    attribution: bool = False
     # Simulation engine: ``"ref"`` is the object-per-line reference
     # engine (core.hierarchy driven by core.system's event loop);
     # ``"fast"`` selects the flat-array kernel (repro.core.fastsim),
@@ -346,5 +354,6 @@ def config_from_dict(data: dict) -> SystemConfig:
         trace=data.get("trace", False),
         metrics=data.get("metrics", False),
         metrics_interval=data.get("metrics_interval", 5000),
+        attribution=data.get("attribution", False),
         engine=data.get("engine", "ref"),
     )

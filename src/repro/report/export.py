@@ -170,10 +170,23 @@ def result_fingerprint(result: SimulationResult) -> str:
     ``repr``).  The audit subsystem uses this to prove that enabling
     ``REPRO_AUDIT`` does not perturb simulations, and the golden-snapshot
     test uses it to detect behavioural drift.
+
+    ``attr_*`` extras are stripped before hashing: causal attribution
+    (:mod:`repro.obs.attribution`) records observations *about* the run,
+    and stripping its rows here is what lets the on/off bit-identity
+    contract be stated as plain fingerprint equality.  Cross-engine
+    equality of the attribution rows themselves is enforced separately
+    (the dual-engine test fixtures compare full dicts, extras included).
     """
     import hashlib
 
-    blob = json.dumps(result_to_full_dict(result), sort_keys=True, separators=(",", ":"))
+    full = result_to_full_dict(result)
+    extra = full["extra"]
+    if any(k.startswith("attr_") for k in extra):
+        full["extra"] = {
+            k: v for k, v in extra.items() if not k.startswith("attr_")
+        }
+    blob = json.dumps(full, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

@@ -21,11 +21,13 @@ table and optionally writes the full matrix as CSV.
 from __future__ import annotations
 
 import io
+import time
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.interaction import interaction_coefficient, speedup
 from repro.core.system import CMPSystem
+from repro.obs import telemetry as _telemetry
 from repro.params import SystemConfig
 
 #: Prefetcher family variants the matrix sweeps ("none" = row baseline).
@@ -45,6 +47,11 @@ class MatrixCell:
     speedup_pref: float
     speedup_compr: float
     speedup_both: float
+    # Causal-attribution annotation (``run_matrix(attribution=True)``):
+    # the measured share of the *both*-run's demand misses attributed to
+    # prefetch pollution / compression expansion.  None without it.
+    pollution_share: Optional[float] = None
+    expansion_share: Optional[float] = None
 
     @property
     def interaction(self) -> float:
@@ -62,6 +69,7 @@ class MatrixReport:
     prefetchers: Tuple[str, ...]
     schemes: Tuple[str, ...]
     simulations: int
+    attribution: bool = False
 
     def ranked(self) -> List[MatrixCell]:
         return sorted(
@@ -71,16 +79,24 @@ class MatrixReport:
 
     def to_csv(self) -> str:
         out = io.StringIO()
-        out.write(
+        header = (
             "workload,prefetcher,scheme,speedup_pref,speedup_compr,"
-            "speedup_both,interaction\n"
+            "speedup_both,interaction"
         )
+        if self.attribution:
+            header += ",pollution_share,expansion_share"
+        out.write(header + "\n")
         for c in self.ranked():
-            out.write(
+            row = (
                 f"{c.workload},{c.prefetcher},{c.scheme},"
                 f"{c.speedup_pref:.6f},{c.speedup_compr:.6f},"
-                f"{c.speedup_both:.6f},{c.interaction:.6f}\n"
+                f"{c.speedup_both:.6f},{c.interaction:.6f}"
             )
+            if self.attribution:
+                pol = "" if c.pollution_share is None else f"{c.pollution_share:.6f}"
+                exp = "" if c.expansion_share is None else f"{c.expansion_share:.6f}"
+                row += f",{pol},{exp}"
+            out.write(row + "\n")
         return out.getvalue()
 
 
@@ -103,6 +119,22 @@ def pair_config(base: SystemConfig, prefetcher: str, scheme: str) -> SystemConfi
     return cfg
 
 
+def _expected_simulations(
+    workloads: Sequence[str],
+    prefetchers: Sequence[str],
+    schemes: Sequence[str],
+) -> int:
+    """Distinct (prefetcher, scheme) runs the sweep will memoise, per
+    workload, times the workload count — the progress denominator."""
+    keys = {("none", "none")}
+    for prefetcher in prefetchers:
+        for scheme in schemes:
+            keys.add((prefetcher, "none"))
+            keys.add(("none", scheme))
+            keys.add((prefetcher, scheme))
+    return len(workloads) * len(keys)
+
+
 def run_matrix(
     workloads: Sequence[str],
     *,
@@ -113,12 +145,24 @@ def run_matrix(
     events: int = 10_000,
     warmup: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    attribution: bool = False,
 ) -> MatrixReport:
     """Sweep every prefetcher x scheme pair over each workload.
 
     ``base_config`` must have prefetching and compression off; the
     matrix derives every variant from it with :func:`pair_config` so all
     cells share one baseline.
+
+    ``progress`` accepts either a live renderer with a ``point_done``
+    method (:class:`repro.obs.progress.SweepProgress`) or a bare
+    ``callable(message)``.  Each simulated point also emits a
+    ``matrix-point`` telemetry record, and the sweep a final ``matrix``
+    record (:mod:`repro.obs.telemetry`).
+
+    ``attribution=True`` runs every point with the causal-attribution
+    tracker attached (read-only, so speedups and interactions are
+    unchanged) and annotates each cell with the measured pollution and
+    expansion shares of its *both* run's demand misses.
     """
     if base_config.prefetch.enabled or base_config.l2.compressed:
         raise ValueError("matrix base config must have prefetching and compression off")
@@ -126,20 +170,40 @@ def run_matrix(
         warmup = events
     cells: List[MatrixCell] = []
     simulations = 0
+    total = _expected_simulations(workloads, prefetchers, schemes)
+    point_done = getattr(progress, "point_done", None)
+    t0 = time.perf_counter()
 
     for workload in workloads:
         runtimes: Dict[Tuple[str, str], float] = {}
+        shares: Dict[Tuple[str, str], Tuple[float, float]] = {}
 
         def runtime(prefetcher: str, scheme: str) -> float:
             nonlocal simulations
             key = (prefetcher, scheme)
             if key not in runtimes:
                 cfg = pair_config(base_config, prefetcher, scheme)
+                if attribution:
+                    cfg = replace(cfg, attribution=True)
                 system = CMPSystem(cfg, workload, seed=seed)
                 result = system.run(events, warmup_events=warmup)
                 runtimes[key] = result.runtime
+                att = system.hierarchy.attribution
+                if att is not None:
+                    shares[key] = (att.pollution_share(), att.expansion_share())
                 simulations += 1
-                if progress is not None:
+                _telemetry.emit(
+                    "matrix-point",
+                    workload=workload,
+                    prefetcher=prefetcher,
+                    scheme=scheme,
+                    runtime=result.runtime,
+                    done=simulations,
+                    total=total,
+                )
+                if point_done is not None:
+                    point_done(simulations, total, "sim")
+                elif progress is not None:
                     progress(f"{workload}: {prefetcher}+{scheme} done")
             return runtimes[key]
 
@@ -149,6 +213,7 @@ def run_matrix(
                 s_pref = speedup(base_rt, runtime(prefetcher, "none"))
                 s_compr = speedup(base_rt, runtime("none", scheme))
                 s_both = speedup(base_rt, runtime(prefetcher, scheme))
+                pair_shares = shares.get((prefetcher, scheme))
                 cells.append(
                     MatrixCell(
                         workload=workload,
@@ -157,13 +222,30 @@ def run_matrix(
                         speedup_pref=s_pref,
                         speedup_compr=s_compr,
                         speedup_both=s_both,
+                        pollution_share=(
+                            pair_shares[0] if pair_shares is not None else None
+                        ),
+                        expansion_share=(
+                            pair_shares[1] if pair_shares is not None else None
+                        ),
                     )
                 )
 
+    _telemetry.emit(
+        "matrix",
+        workloads=list(workloads),
+        prefetchers=list(prefetchers),
+        schemes=list(schemes),
+        cells=len(cells),
+        simulations=simulations,
+        attribution=attribution,
+        wall_s=time.perf_counter() - t0,
+    )
     return MatrixReport(
         cells=tuple(cells),
         workloads=tuple(workloads),
         prefetchers=tuple(prefetchers),
         schemes=tuple(schemes),
         simulations=simulations,
+        attribution=attribution,
     )

@@ -47,6 +47,7 @@ from repro.trace.io import TracePack
 from repro.verify.oracle import OracleMismatch, verify_system
 from repro.verify.properties import (
     PropertyViolation,
+    check_attribution_noop,
     check_bandwidth_monotonicity,
     check_compression_noop,
     check_degree_zero,
@@ -146,6 +147,9 @@ def random_config(rng) -> SystemConfig:
         link=link,
         memory=memory,
         prefetch=prefetch,
+        # Exercise the causal-attribution tracker (read-only by contract;
+        # check_attribution_noop asserts the fingerprint identity).
+        attribution=rng.random() < 0.25,
     )
 
 
@@ -325,6 +329,7 @@ def _check_case(
         check_reset_conservation,
         check_compression_noop,
         check_degree_zero,
+        check_attribution_noop,
     ]
     if config.link.bandwidth_gbs is not None:
         checks.append(check_bandwidth_monotonicity)
@@ -378,6 +383,8 @@ def _simplifications(config: SystemConfig) -> List[Tuple[str, SystemConfig]]:
         out.append(("adaptive compression off", replace(config, l2=replace(config.l2, adaptive_compression=False))))
     if config.l2.compressed:
         out.append(("cache compression off", replace(config, l2=replace(config.l2, compressed=False))))
+    if config.attribution:
+        out.append(("attribution off", replace(config, attribution=False)))
     return out
 
 

@@ -51,6 +51,14 @@ The relations, and why each must hold:
     Two fresh systems with the same seed must produce bit-identical
     results, and a result must survive the full-dict JSON round trip
     (the on-disk cache's serialisation) with its fingerprint intact.
+
+``attribution_noop``
+    The causal-attribution tracker (:mod:`repro.obs.attribution`) is
+    read-only by contract: the same point run with ``attribution=True``
+    must fingerprint identically to the plain run (``attr_*`` extras are
+    stripped by the fingerprint), and its per-event ledgers must
+    reconcile exactly with the stats counters (attributed misses sum to
+    ``l2.demand_misses``, eviction causes to the eviction totals).
 """
 
 from __future__ import annotations
@@ -378,6 +386,66 @@ def check_determinism(
         )
 
 
+# ---------------------------------------------------------------------------
+# attribution is read-only and reconciles exactly
+# ---------------------------------------------------------------------------
+
+
+def check_attribution_noop(
+    config: SystemConfig,
+    workload: Optional[str] = None,
+    *,
+    trace=None,
+    seed: int = 0,
+    events: int = 1200,
+    warmup: Optional[int] = None,
+) -> None:
+    """Attribution on must fingerprint identically to attribution off,
+    and the tracker's ledgers must reconcile exactly with the stats."""
+    import os
+
+    warmup = events if warmup is None else warmup
+    off = replace(config, attribution=False)
+    on = replace(config, attribution=True)
+    # An ambient REPRO_ATTRIBUTION would override both sides of the
+    # pair (turning A/B into A/A); suspend it for the comparison.
+    saved = os.environ.pop("REPRO_ATTRIBUTION", None)
+    try:
+        r_off = _simulate(off, workload, trace, seed, events, warmup)
+        if trace is not None:
+            system = CMPSystem(on, trace=trace)
+        else:
+            system = CMPSystem(on, workload, seed=seed)
+        r_on = system.run(events, warmup_events=warmup, config_name="property")
+    finally:
+        if saved is not None:
+            os.environ["REPRO_ATTRIBUTION"] = saved
+    f_off, f_on = result_fingerprint(r_off), result_fingerprint(r_on)
+    if f_off != f_on:
+        ignore = tuple(
+            f"extra.{k}" for k in result_to_full_dict(r_on)["extra"]
+            if k.startswith("attr_")
+        )
+        problems = diff_full_dicts(
+            result_to_full_dict(r_off), result_to_full_dict(r_on), ignore=ignore
+        )
+        raise PropertyViolation(
+            "attribution_noop: enabling attribution changed the result "
+            f"({len(problems)} counter(s)):\n" + _render(problems, "off", "on")
+        )
+    tracker = system.hierarchy.attribution
+    if tracker is None:
+        raise PropertyViolation(
+            "attribution_noop: attribution=True did not attach a tracker"
+        )
+    problems = tracker.reconcile_result(r_on)
+    if problems:
+        raise PropertyViolation(
+            "attribution_noop: ledgers do not reconcile with the stats "
+            "counters:\n" + "\n".join(f"  {p}" for p in problems)
+        )
+
+
 #: Name -> check, for the CLI and the fuzz harness.  Each check accepts
 #: (config, workload, *, trace=..., seed=..., events=..., warmup=...).
 ALL_PROPERTIES = {
@@ -386,4 +454,5 @@ ALL_PROPERTIES = {
     "reset_conservation": check_reset_conservation,
     "bandwidth_monotonicity": check_bandwidth_monotonicity,
     "determinism": check_determinism,
+    "attribution_noop": check_attribution_noop,
 }

@@ -104,6 +104,7 @@ class TestRegistry:
             "reset_conservation",
             "bandwidth_monotonicity",
             "determinism",
+            "attribution_noop",
         }
 
     def test_violation_is_assertion_error(self):
