@@ -30,6 +30,7 @@ format for piping into other tools.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -52,6 +53,42 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--bandwidth", type=float, default=20.0, help="pin GB/s; 0 = infinite")
     p.add_argument("--json", action="store_true")
     p.add_argument("--csv", action="store_true")
+
+
+def _add_snapshot_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--snapshot-interval", type=int, default=None, metavar="N",
+                   help="snapshot simulator state every N events per core "
+                        "(sets REPRO_SNAPSHOT_INTERVAL); a killed run can "
+                        "then resume bit-identically")
+    p.add_argument("--resume-snapshot", action="store_true",
+                   help="resume from the latest matching mid-run snapshot "
+                        "(left by a killed or guard-truncated run)")
+
+
+def _apply_snapshot_args(args) -> None:
+    """Map the snapshot CLI flags onto the env knobs the simulator (and
+    any worker processes it spawns) reads."""
+    from repro.core import snapshot as _snapshot
+
+    if getattr(args, "snapshot_interval", None) is not None:
+        if args.snapshot_interval < 0:
+            raise ValueError("--snapshot-interval must be >= 0")
+        os.environ[_snapshot.ENV_INTERVAL] = str(args.snapshot_interval)
+    if getattr(args, "resume_snapshot", False):
+        os.environ[_snapshot.ENV_RESUME] = "1"
+
+
+def _finish_run(result: SimulationResult) -> int:
+    """Exit code for a single-point command: 3 flags a guard-truncated
+    partial result so scripts never mistake it for a complete run."""
+    if result.extra.get("truncated"):
+        print(
+            "exit 3: partial result (resource guard); resume with "
+            "--resume-snapshot to finish the run",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
 
 
 def _emit(results: List[SimulationResult], args) -> None:
@@ -96,11 +133,14 @@ def _run_one(workload: str, key: str, args) -> SimulationResult:
 
 
 def cmd_run(args) -> int:
-    _emit([_run_one(args.workload, args.config, args)], args)
-    return 0
+    _apply_snapshot_args(args)
+    result = _run_one(args.workload, args.config, args)
+    _emit([result], args)
+    return _finish_run(result)
 
 
 def cmd_sweep(args) -> int:
+    _apply_snapshot_args(args)
     from repro.core.checkpoint import (
         SweepJournal,
         default_journal_path,
@@ -415,7 +455,13 @@ def cmd_record(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    pack = TracePack.load(args.path)
+    _apply_snapshot_args(args)
+    pack = TracePack.load(args.path, skip_bad_records=args.skip_bad_records)
+    if pack.skipped_records:
+        print(
+            f"skipped {pack.skipped_records} malformed record(s) in {args.path}",
+            file=sys.stderr,
+        )
     cfg = make_config(
         args.config,
         n_cores=pack.n_cores,
@@ -426,8 +472,12 @@ def cmd_replay(args) -> int:
     system = CMPSystem(cfg, trace=pack)
     result = system.run(args.events or pack.events_per_core,
                         warmup_events=args.warmup, config_name=args.config)
+    if pack.skipped_records:
+        result.extra["skipped_records"] = float(pack.skipped_records)
+    if pack.dropped_tail:
+        result.extra["dropped_tail"] = float(pack.dropped_tail)
     _emit([result], args)
-    return 0
+    return _finish_run(result)
 
 
 def cmd_audit(args) -> int:
@@ -512,6 +562,13 @@ def cmd_telemetry(args) -> int:
                   + ", ".join(f"{k}={v}" for k, v in resilience.items() if v))
     if summary["journal_loaded"]:
         print(f"journal loaded: {summary['journal_loaded']} point(s) resumed")
+    if summary["snapshot_actions"]:
+        actions = ", ".join(
+            f"{k}={v}" for k, v in sorted(summary["snapshot_actions"].items())
+        )
+        print(f"snapshots:      {actions}")
+    if summary["guard_breaches"]:
+        print(f"guard breaches: {summary['guard_breaches']}")
     return 0
 
 
@@ -838,6 +895,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", choices=all_names())
     p.add_argument("--config", default="base", choices=sorted(CONFIG_FEATURES))
     _add_run_args(p)
+    _add_snapshot_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="simulate a workload x config matrix")
@@ -856,6 +914,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-journal", action="store_true",
                    help="disable checkpointing for this sweep")
     _add_run_args(p)
+    _add_snapshot_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("cache", help="inspect, verify or clear the on-disk result cache")
@@ -919,8 +978,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cores", type=int, default=8)
     p.set_defaults(func=cmd_record)
 
-    p = sub.add_parser("replay", help="replay a recorded trace")
-    p.add_argument("path")
+    p = sub.add_parser("replay", help="replay a recorded or external trace")
+    p.add_argument("path", help="binary RPTR trace or external text trace")
     p.add_argument("--config", default="base", choices=sorted(CONFIG_FEATURES))
     p.add_argument("--events", type=int, default=0, help="0 = full trace length")
     p.add_argument("--warmup", type=int, default=None)
@@ -928,6 +987,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bandwidth", type=float, default=20.0)
     p.add_argument("--json", action="store_true")
     p.add_argument("--csv", action="store_true")
+    p.add_argument("--skip-bad-records", action="store_true",
+                   help="drop malformed trace records (counted in the "
+                        "result extras) instead of failing with exit 2")
+    _add_snapshot_args(p)
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("schemes", help="compare compression schemes on a workload's data")

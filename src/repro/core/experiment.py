@@ -17,6 +17,10 @@ Environment knobs (all optional):
 * ``REPRO_CACHE``    — ``0`` disables the on-disk cache
 * ``REPRO_CACHE_DIR``— on-disk cache root (default ``.repro_cache/``)
 * ``REPRO_JOBS``     — default worker count for parallel sweeps
+
+Long-run durability knobs (``REPRO_SNAPSHOT_INTERVAL``,
+``REPRO_SNAPSHOT_DIR``, ``REPRO_RESUME_SNAPSHOT``, ``REPRO_DEADLINE``,
+``REPRO_MEM_LIMIT``) live in :mod:`repro.core.snapshot`.
 """
 
 from __future__ import annotations
@@ -162,12 +166,20 @@ def run_point(
     bandwidth_gbs: Optional[float] = 20.0,
     infinite_bandwidth: bool = False,
     use_cache: bool = True,
+    resume_snapshot: Optional[bool] = None,
 ) -> SimulationResult:
     """Run one (workload, config) data point.
 
     Lookup order: in-process memo, then the persistent disk cache, then
     simulate (and populate both).  ``use_cache=False`` bypasses all
     caching in both directions.
+
+    ``resume_snapshot`` forwards to :meth:`CMPSystem.run`: ``True``
+    resumes from a matching mid-run snapshot if one exists, ``False``
+    never does, ``None`` (default) follows ``REPRO_SNAPSHOT_INTERVAL`` /
+    ``REPRO_RESUME_SNAPSHOT``.  A run truncated by a resource guard
+    (``result.extra["truncated"]``) is returned but never cached — a
+    partial result must not shadow the eventual complete one.
     """
     events = events if events is not None else default_events()
     warmup = warmup if warmup is not None else default_warmup()
@@ -199,17 +211,23 @@ def run_point(
             _emit_point(workload, key, seed, "disk", disk_key, t0)
             return result
     system = CMPSystem(config, workload, seed=seed)
-    result = system.run(events, warmup_events=warmup, config_name=key)
-    if use_cache:
+    result = system.run(
+        events, warmup_events=warmup, config_name=key,
+        resume_snapshot=resume_snapshot,
+    )
+    truncated = bool(result.extra.get("truncated"))
+    if use_cache and not truncated:
         _memo_put(cache_key, result)
         if disk:
             store.put(disk_key, result)
-    _emit_point(workload, key, seed, "sim", disk_key, t0)
+    source = "snapshot" if system.resumed_from_phase is not None else "sim"
+    _emit_point(workload, key, seed, source, disk_key, t0)
     return result
 
 
 #: Where the most recent run_point result came from (``memo`` / ``disk``
-#: / ``sim``) — per process; the parallel runner reads it right after
+#: / ``sim`` / ``snapshot`` for a simulation resumed from a mid-run
+#: snapshot) — per process; the parallel runner reads it right after
 #: each point to feed the live progress renderer.
 _LAST_SOURCE = "sim"
 

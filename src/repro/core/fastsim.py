@@ -114,6 +114,18 @@ class ChunkCursor:
             self.pos = i + 1
             yield (self.gaps[i], self.kinds[i], self.addrs[i])
 
+    # A pickled cursor (simulator snapshots, repro.core.snapshot) keeps
+    # only the *unconsumed* tail of the chunk buffers: the consumed
+    # prefix is dead weight, and dropping it makes the snapshot size
+    # independent of where in the chunk the phase boundary landed.
+    def __getstate__(self):
+        i = self.pos
+        return (self.gen, self.gaps[i:], self.kinds[i:], self.addrs[i:])
+
+    def __setstate__(self, state) -> None:
+        self.gen, self.gaps, self.kinds, self.addrs = state
+        self.pos = 0
+
 
 def run_events(system, events_per_core: int) -> bool:
     """Run ``events_per_core`` events per core with the flat-array kernel.

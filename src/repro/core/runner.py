@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import faults
+from repro.core import snapshot as _snapshot
 from repro.core.results import SimulationResult
 from repro.obs import telemetry as _telemetry
 
@@ -95,7 +96,9 @@ _LOST_WORKER_NOTE = (
 )
 _TIMEOUT_NOTE = (
     "point exceeded the per-point wall-clock budget (REPRO_POINT_TIMEOUT); "
-    "the stuck worker was terminated and the pool respawned"
+    "the stuck worker was terminated and the pool respawned (set "
+    "REPRO_SNAPSHOT_INTERVAL to let timed-out points resume from their "
+    "last mid-run snapshot instead of failing)"
 )
 
 #: Internal worker-outcome tuple:
@@ -475,11 +478,33 @@ class ParallelRunner:
                             idx, att, _started = inflight.pop(fut)
                             stats["timeouts"] += 1
                             _event(progress, "timeout")
+                            # With mid-run snapshots on, the killed
+                            # worker left durable phase-boundary state:
+                            # a resubmission auto-resumes from it, so
+                            # the timed-out point deserves a retry
+                            # instead of a terminal error.
+                            resumable = (
+                                _snapshot.snapshot_interval() > 0
+                                and att < max_retries
+                            )
                             if _telemetry.enabled():
                                 _telemetry.emit(
                                     "point-timeout", index=idx,
                                     attempt=att, timeout_s=timeout,
+                                    resumable=resumable,
                                 )
+                            if resumable:
+                                retry_attempt = att + 1
+                                self._note_retry(
+                                    stats, progress, idx, retry_attempt, "timeout"
+                                )
+                                waiting.append((
+                                    time.perf_counter()
+                                    + _retry_backoff_s(idx, retry_attempt),
+                                    idx,
+                                    retry_attempt,
+                                ))
+                                continue
                             done += 1
                             self._finalize(
                                 results, points,

@@ -1,0 +1,479 @@
+"""Mid-run simulator snapshots: crash-safe long simulations.
+
+PR 5's resilience layer retries and resumes at *sweep-point*
+granularity, so a worker death 90 minutes into one long full-scale
+simulation still loses the whole point.  This module checkpoints the
+*simulator itself* at phase boundaries: the complete machine state —
+cache arrays, MSHR/write-back buffers, prefetcher and adaptive-
+controller state, coherence directory, DRAM/NoC timing state, workload
+cursor state, and all stats — is serialized into a checksummed,
+versioned snapshot file, and a killed run resumes from the last phase
+boundary bit-identically (kill-and-resume equals run-to-completion on
+``result_fingerprint``, under either engine; the snapshot itself is
+engine-neutral because both engines keep the object hierarchy
+authoritative between ``run_events`` calls).
+
+Snapshot file layout (all little-endian)::
+
+    offset   content
+    0        magic  b"RPSN"
+    4        u16    format version (currently 1)
+    6        u32    meta length
+    10       meta   canonical JSON (run identity, progress counters,
+                    payload_sha256)
+    ...      payload: pickled state dict
+
+The meta block carries ``payload_sha256`` so a torn write, disk
+corruption, or an injected ``snapcorrupt`` fault is detected *before*
+the payload is unpickled; a bad snapshot is quarantined into
+``<dir>/_quarantine/`` and restore falls back to the previous phase
+snapshot (or a clean start) — the same self-healing contract as
+:mod:`repro.core.diskcache`.
+
+Environment knobs:
+
+* ``REPRO_SNAPSHOT_INTERVAL`` — trace events per core per phase; a
+  snapshot is written at every phase boundary (0/unset = off);
+* ``REPRO_SNAPSHOT_DIR``      — snapshot directory (default
+  ``.repro_snapshots/``);
+* ``REPRO_RESUME_SNAPSHOT``   — force a resume attempt even when the
+  interval is unset (``repro run --resume-snapshot`` sets this);
+* ``REPRO_DEADLINE``          — wall-clock budget in seconds for one
+  ``CMPSystem.run``, checked cooperatively at phase boundaries;
+* ``REPRO_MEM_LIMIT``         — RSS budget in MiB, same check points.
+
+On a guard breach the run does *not* die: it keeps its latest snapshot,
+returns a structured partial result carrying a ``truncated`` extra, and
+prints the exact resume command.  Snapshots of a run that completes are
+deleted, so auto-resume (on whenever the interval is set) only ever
+picks up genuinely interrupted runs.
+
+Fault sites (chaos testing, see :mod:`repro.faults.inject`):
+``snapkill`` kills the process right after the Nth snapshot is written,
+``snapcorrupt`` mangles a written snapshot's payload on disk, and
+``diskfull`` makes a snapshot store fail with ``ENOSPC`` (the run must
+continue without it).
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import pickle
+import struct
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults import inject as _faults
+from repro.obs import telemetry as _telemetry
+
+SNAPSHOT_MAGIC = b"RPSN"
+SNAPSHOT_VERSION = 1
+
+ENV_INTERVAL = "REPRO_SNAPSHOT_INTERVAL"
+ENV_DIR = "REPRO_SNAPSHOT_DIR"
+ENV_RESUME = "REPRO_RESUME_SNAPSHOT"
+ENV_DEADLINE = "REPRO_DEADLINE"
+ENV_MEM_LIMIT = "REPRO_MEM_LIMIT"
+
+DEFAULT_DIR = ".repro_snapshots"
+QUARANTINE_DIR = "_quarantine"
+
+#: Snapshots kept per run: the newest phase plus one fallback, so a
+#: snapshot corrupted on disk still leaves a resume point.
+KEEP_PHASES = 2
+
+_HEAD_STRUCT = struct.Struct("<4sHI")
+
+
+class SnapshotError(Exception):
+    """A snapshot file that cannot be trusted (missing, torn, corrupt,
+    version-mismatched, or not unpicklable).  Restore paths catch this,
+    quarantine the file, and fall back — it never escapes to the user as
+    a raw ``KeyError``/``EOFError``."""
+
+    def __init__(self, path: str, reason: str) -> None:
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"bad snapshot {path}: {reason}")
+
+
+# -- env knobs ----------------------------------------------------------------
+
+
+def snapshot_interval() -> int:
+    """Phase length in trace events per core (0 = snapshots off)."""
+    raw = os.environ.get(ENV_INTERVAL)
+    if not raw:
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_INTERVAL} must be an integer event count, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{ENV_INTERVAL} must be >= 0, got {value}")
+    return value
+
+
+def resume_requested() -> bool:
+    """Has a resume been forced via ``REPRO_RESUME_SNAPSHOT``?"""
+    return os.environ.get(ENV_RESUME, "") not in ("", "0")
+
+
+def snapshot_dir() -> str:
+    return os.environ.get(ENV_DIR) or DEFAULT_DIR
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+# -- resource guards ----------------------------------------------------------
+
+
+def _rss_mib() -> Optional[float]:
+    """Current resident set size in MiB, or None where unreadable."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        # ru_maxrss is KiB on Linux; a peak value, which only over-
+        # estimates — acceptable for a fallback guard.
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    except Exception:
+        return None
+
+
+class ResourceGuard:
+    """Cooperative watchdog: wall-clock and RSS budgets for one run.
+
+    Checked at phase boundaries only — the guard never interrupts a
+    phase, it turns "the scheduler would have killed us" into "snapshot,
+    return a truncated result, print the resume command".
+    """
+
+    def __init__(self) -> None:
+        self.deadline_s = _env_float(ENV_DEADLINE)
+        self.mem_limit_mib = _env_float(ENV_MEM_LIMIT)
+        self._t0 = time.monotonic()
+
+    def active(self) -> bool:
+        return self.deadline_s is not None or self.mem_limit_mib is not None
+
+    def breach(self) -> Optional[str]:
+        """A human-readable reason when a budget is exceeded, else None."""
+        if self.deadline_s is not None:
+            elapsed = time.monotonic() - self._t0
+            if elapsed >= self.deadline_s:
+                return (
+                    f"deadline exceeded ({elapsed:.1f}s elapsed >= "
+                    f"{ENV_DEADLINE}={self.deadline_s:g}s)"
+                )
+        if self.mem_limit_mib is not None:
+            rss = _rss_mib()
+            if rss is not None and rss >= self.mem_limit_mib:
+                return (
+                    f"memory limit exceeded ({rss:.0f} MiB RSS >= "
+                    f"{ENV_MEM_LIMIT}={self.mem_limit_mib:g} MiB)"
+                )
+        return None
+
+
+# -- state capture ------------------------------------------------------------
+
+
+def capture_state(system) -> Dict[str, Any]:
+    """The complete, engine-neutral simulator state of one CMPSystem.
+
+    Both engines keep the object hierarchy authoritative between
+    ``run_events`` calls (the fast kernel writes its flat arrays back at
+    the end of every call), so pickling the object model — plus the
+    workload cursors, whose generators persist their walk state through
+    ``fill_chunk`` — captures everything, and a snapshot written under
+    one engine restores under the other.
+    """
+    if system.tracer is not None or system.sampler is not None:
+        raise SnapshotError(
+            "-", "snapshots do not support event tracing or interval metrics"
+        )
+    if "access" in system.hierarchy.__dict__:
+        # Wrapped hierarchy methods (the differential-verification tap)
+        # are closures; the snapshot would not round-trip them.
+        raise SnapshotError("-", "hierarchy methods are wrapped; cannot snapshot")
+    state: Dict[str, Any] = {
+        "hierarchy": system.hierarchy,
+        "cores": system.cores,
+        "values": system.values,
+        "events_processed": system._events_processed,
+    }
+    if system._trace is not None:
+        # Trace-driven runs: the pack is rebuilt by the resuming caller,
+        # so only the per-core cursor positions are stored.
+        state["trace_positions"] = [
+            it.pos % len(it.events) for it in system._generators
+        ]
+    else:
+        if system._cursors is None:
+            raise SnapshotError(
+                "-",
+                "workload generators are not in cursor mode; cannot snapshot",
+            )
+        state["cursors"] = system._cursors
+    return state
+
+
+# -- file format --------------------------------------------------------------
+
+
+def write_snapshot(path: str, meta: Dict[str, Any], payload: bytes) -> None:
+    """Atomically write one snapshot file (tmp + rename).
+
+    ``meta["payload_sha256"]`` is filled in here.  The ``snapcorrupt``
+    fault site mangles the payload *after* the checksum is taken, so an
+    injected corruption is detectable exactly like a real one; the
+    ``diskfull`` site fails the write with ``ENOSPC``.
+    """
+    hit = _faults.should("diskfull", token=path)
+    if hit is not None:
+        raise OSError(errno.ENOSPC, "injected disk-full fault", path)
+    meta = dict(meta)
+    meta["payload_sha256"] = hashlib.sha256(payload).hexdigest()
+    meta["payload_bytes"] = len(payload)
+    if _faults.should("snapcorrupt", token=path) is not None and payload:
+        payload = payload[:-1] + bytes([payload[-1] ^ 0xFF])
+    blob = json.dumps(meta, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as out:
+            out.write(_HEAD_STRUCT.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, len(blob)))
+            out.write(blob)
+            out.write(payload)
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_snapshot(path: str) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Read and fully validate one snapshot file.
+
+    Every way the file can be wrong — missing, truncated, bad magic,
+    unsupported version, unparseable meta, checksum mismatch, payload
+    that does not unpickle — raises :class:`SnapshotError` with the path
+    and a readable reason; the payload is only unpickled after its
+    checksum verifies.
+    """
+    try:
+        with open(path, "rb") as stream:
+            head = stream.read(_HEAD_STRUCT.size)
+            if len(head) != _HEAD_STRUCT.size:
+                raise SnapshotError(path, "truncated header")
+            magic, version, meta_len = _HEAD_STRUCT.unpack(head)
+            if magic != SNAPSHOT_MAGIC:
+                raise SnapshotError(path, f"not a snapshot (magic {magic!r})")
+            if version != SNAPSHOT_VERSION:
+                raise SnapshotError(path, f"unsupported snapshot version {version}")
+            blob = stream.read(meta_len)
+            if len(blob) != meta_len:
+                raise SnapshotError(path, "truncated meta block")
+            payload = stream.read()
+    except OSError as exc:
+        raise SnapshotError(path, f"unreadable: {exc}") from None
+    try:
+        meta = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotError(path, f"unparseable meta: {exc}") from None
+    if not isinstance(meta, dict) or "payload_sha256" not in meta:
+        raise SnapshotError(path, "meta is not a checksum envelope")
+    if hashlib.sha256(payload).hexdigest() != meta["payload_sha256"]:
+        raise SnapshotError(path, "payload checksum mismatch")
+    try:
+        state = pickle.loads(payload)
+    except Exception as exc:  # unpickling can raise nearly anything
+        raise SnapshotError(path, f"payload does not unpickle: {exc}") from None
+    if not isinstance(state, dict):
+        raise SnapshotError(path, "payload is not a state dict")
+    for field in ("run_key", "phase", "warmup_done", "measure_done", "interval"):
+        if field not in meta:
+            raise SnapshotError(path, f"meta is missing {field!r}")
+    return meta, state
+
+
+# -- the manager --------------------------------------------------------------
+
+
+def run_key(config, workload: str, seed: int, events: int, warmup: int) -> str:
+    """Stable identity of one long run — everything that changes the
+    result, nothing that only changes execution.  Reuses the disk
+    cache's key derivation, which strips the observability knobs and the
+    engine selector (a snapshot is valid under either engine)."""
+    from repro.core import diskcache
+
+    return diskcache.point_key(config, workload, seed, events, warmup)
+
+
+class SnapshotManager:
+    """Writes, rotates, validates, quarantines and restores the snapshot
+    chain of one run (identified by :func:`run_key`)."""
+
+    def __init__(self, key: str, directory: Optional[str] = None) -> None:
+        self.key = key
+        self.root = directory or snapshot_dir()
+
+    # -- paths --------------------------------------------------------------
+
+    def path_for(self, phase: int) -> str:
+        return os.path.join(self.root, f"{self.key[:20]}-p{phase:05d}.rpsn")
+
+    def quarantine_root(self) -> str:
+        return os.path.join(self.root, QUARANTINE_DIR)
+
+    def _candidates(self) -> List[Tuple[int, str]]:
+        """(phase, path) pairs of this run's snapshots, newest first."""
+        prefix = f"{self.key[:20]}-p"
+        found: List[Tuple[int, str]] = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        for name in names:
+            if not (name.startswith(prefix) and name.endswith(".rpsn")):
+                continue
+            try:
+                phase = int(name[len(prefix):-len(".rpsn")])
+            except ValueError:
+                continue
+            found.append((phase, os.path.join(self.root, name)))
+        found.sort(reverse=True)
+        return found
+
+    # -- store --------------------------------------------------------------
+
+    def save(self, system, meta: Dict[str, Any]) -> Optional[str]:
+        """Capture and store one phase snapshot; never raises.
+
+        A snapshot that cannot be taken (unpicklable state) or stored
+        (disk full) is reported via telemetry as ``store-failed`` and the
+        run simply continues without it — durability must never be able
+        to fail the simulation it protects.
+        """
+        t0 = time.perf_counter()
+        phase = int(meta["phase"])
+        path = self.path_for(phase)
+        try:
+            state = capture_state(system)
+            payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            full_meta = {
+                "version": SNAPSHOT_VERSION,
+                "run_key": self.key,
+                **meta,
+            }
+            write_snapshot(path, full_meta, payload)
+        except (SnapshotError, OSError, pickle.PicklingError, TypeError,
+                AttributeError) as exc:
+            _telemetry.emit(
+                "snapshot", action="store-failed", path=path, phase=phase,
+                reason=str(exc),
+            )
+            return None
+        self._prune(keep_from=phase - KEEP_PHASES + 1)
+        _telemetry.emit(
+            "snapshot", action="store", path=path, phase=phase,
+            bytes=len(payload), wall_s=time.perf_counter() - t0,
+        )
+        hit = _faults.should("snapkill", index=phase)
+        if hit is not None:
+            # Chaos site: die the instant the snapshot is durable — the
+            # harshest possible kill point for the resume contract.
+            os._exit(int(hit.arg) if hit.arg is not None else 137)
+        return path
+
+    def _prune(self, keep_from: int) -> None:
+        for phase, path in self._candidates():
+            if phase < keep_from:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    # -- restore ------------------------------------------------------------
+
+    def load_latest(self) -> Optional[Tuple[Dict[str, Any], Dict[str, Any]]]:
+        """The newest valid snapshot of this run, or None.
+
+        A corrupt or truncated candidate is quarantined (with a
+        telemetry record) and the previous phase is tried — restore
+        degrades phase by phase down to a clean start, never to a raw
+        exception.
+        """
+        for _phase, path in self._candidates():
+            try:
+                meta, state = read_snapshot(path)
+                if meta.get("run_key") != self.key:
+                    raise SnapshotError(path, "run key mismatch")
+            except SnapshotError as exc:
+                self._quarantine(path, exc.reason)
+                continue
+            _telemetry.emit(
+                "snapshot", action="restore", path=path,
+                phase=int(meta["phase"]),
+                warmup_done=int(meta["warmup_done"]),
+                measure_done=int(meta["measure_done"]),
+            )
+            return meta, state
+        return None
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        qdir = self.quarantine_root()
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        _telemetry.emit("snapshot", action="corrupt", path=path, reason=reason)
+
+    # -- completion ---------------------------------------------------------
+
+    def discard(self) -> int:
+        """Delete this run's snapshots (called when the run completes, so
+        auto-resume only ever sees genuinely interrupted runs)."""
+        removed = 0
+        for _phase, path in self._candidates():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        if removed:
+            _telemetry.emit("snapshot", action="discard", count=removed)
+        return removed

@@ -10,10 +10,12 @@ from __future__ import annotations
 import gc
 import heapq
 import os
+import sys
 import time
 from typing import List, Optional, Union
 
 from repro.core import fastsim as _fastsim
+from repro.core import snapshot as _snapshot
 from repro.core.hierarchy import MemoryHierarchy
 from repro.core.results import SimulationResult
 from repro.cpu.core import CoreTimingModel
@@ -71,6 +73,8 @@ class CMPSystem:
         heap = None
         if self.spec.pointer_fraction > 0:
             heap = HeapModel.from_spec(self.spec, seed=seed)
+        self._heap = heap
+        self._trace = trace
         self.values = ValueModel(
             self.spec.value_mix, seed=seed, scheme=config.l2.scheme, heap=heap
         )
@@ -106,6 +110,9 @@ class CMPSystem:
             else:
                 self._generators = [g.events() for g in gens]
         self._events_processed = 0
+        #: Phase number this run was restored from (None = clean start);
+        #: set by the snapshot-resume path, read by run_point telemetry.
+        self.resumed_from_phase: Optional[int] = None
         # Opt-in invariant auditing (repro.obs.audit).  When off, the hot
         # loop's only extra cost is one falsy-int test per event.
         self.auditor: Optional[_audit.Auditor] = (
@@ -143,17 +150,47 @@ class CMPSystem:
         events_per_core: int,
         warmup_events: Optional[int] = None,
         config_name: Optional[str] = None,
+        resume_snapshot: Optional[bool] = None,
     ) -> SimulationResult:
         """Warm up, reset stats, measure, and return the result.
 
         Cores are interleaved on a min-heap of local clocks so shared
         resources see causally-ordered contention, mirroring how GEMS
         interleaves processors at cycle granularity.
+
+        When ``REPRO_SNAPSHOT_INTERVAL`` is set the run proceeds in
+        phases of that many events per core, snapshotting the complete
+        simulator state at every phase boundary
+        (:mod:`repro.core.snapshot`); a matching snapshot left behind by
+        an interrupted run is resumed automatically (``resume_snapshot``
+        forces or forbids the attempt).  Phase boundaries also check the
+        ``REPRO_DEADLINE`` / ``REPRO_MEM_LIMIT`` resource guards: a
+        breach returns a *partial* result (marked with a ``truncated``
+        extra) instead of dying, keeping the snapshot to resume from.
         """
         if events_per_core <= 0:
             raise ValueError("events_per_core must be positive")
         if warmup_events is None:
             warmup_events = events_per_core // 2
+        interval = _snapshot.snapshot_interval()
+        want_resume = resume_snapshot is True or (
+            resume_snapshot is None
+            and (interval > 0 or _snapshot.resume_requested())
+        )
+        if interval > 0 or want_resume:
+            return self._run_phased(
+                events_per_core, warmup_events, config_name, interval,
+                want_resume,
+                explicit=resume_snapshot is True or _snapshot.resume_requested(),
+            )
+        return self._run_plain(events_per_core, warmup_events, config_name)
+
+    def _run_plain(
+        self,
+        events_per_core: int,
+        warmup_events: int,
+        config_name: Optional[str],
+    ) -> SimulationResult:
         t0 = time.perf_counter()
         tracer = self.tracer
         gc_threshold = None
@@ -218,6 +255,252 @@ class CMPSystem:
             out = _attribution.attribution_path()
             if out:
                 self.hierarchy.attribution.write(out)
+        return result
+
+    # -- crash-safe phased execution (repro.core.snapshot) -----------------
+
+    def _ensure_cursors(self) -> None:
+        """Put workload generation into serializable cursor mode.
+
+        The reference engine's raw ``events()`` generators keep their
+        walk state in generator locals, which no snapshot can reach;
+        chunk cursors persist it back to the generator instance.  Both
+        sources draw the identical RNG stream (the engine-equivalence
+        suite pins this), so rebuilding the generators is safe — but
+        only before the first event is drawn.
+        """
+        if self._cursors is not None or self._trace is not None:
+            return
+        if self._events_processed:
+            raise ValueError(
+                "snapshots need cursor-mode generators from the start of "
+                "the run; this system already consumed events in raw mode"
+            )
+        gens = [
+            TraceGenerator(
+                self.spec,
+                core_id=i,
+                n_cores=self.config.n_cores,
+                l2_lines=self.config.l2.n_lines,
+                l1i_lines=self.config.l1i.n_lines,
+                seed=self.seed,
+                heap=self._heap,
+            )
+            for i in range(self.config.n_cores)
+        ]
+        self._cursors = [_fastsim.ChunkCursor(g) for g in gens]
+        self._generators = [c.events() for c in self._cursors]
+
+    def _restore_state(self, state: dict) -> None:
+        """Swap in a snapshot's simulator state (inverse of
+        :func:`repro.core.snapshot.capture_state`)."""
+        self.hierarchy = state["hierarchy"]
+        self.cores = state["cores"]
+        self.values = state["values"]
+        self._events_processed = state["events_processed"]
+        if self._trace is not None:
+            positions = state.get("trace_positions")
+            if positions is None or len(positions) != len(self._generators):
+                raise _snapshot.SnapshotError(
+                    "-", "snapshot does not match this trace-driven system"
+                )
+            for it, pos in zip(self._generators, positions):
+                it.pos = pos
+        else:
+            cursors = state.get("cursors")
+            if cursors is None or len(cursors) != self.config.n_cores:
+                raise _snapshot.SnapshotError(
+                    "-", "snapshot does not match this system's core count"
+                )
+            self._cursors = cursors
+            self._generators = [c.events() for c in cursors]
+        # The auditor is bound to the (replaced) hierarchy; rebuild it.
+        if self.auditor is not None:
+            self.auditor = _audit.Auditor(
+                self.hierarchy, _audit.audit_interval(self.config)
+            )
+
+    def _run_phased(
+        self,
+        events_per_core: int,
+        warmup_events: int,
+        config_name: Optional[str],
+        interval: int,
+        want_resume: bool,
+        explicit: bool,
+    ) -> SimulationResult:
+        if self.tracer is not None or self.sampler is not None:
+            raise ValueError(
+                "snapshots do not support event tracing or interval metrics; "
+                "unset REPRO_SNAPSHOT_INTERVAL for traced runs"
+            )
+        name = config_name or self.config.describe()
+        key = _snapshot.run_key(
+            self.config, self.spec.name, self.seed, events_per_core, warmup_events
+        )
+        manager = _snapshot.SnapshotManager(key)
+        warmup_done = 0
+        measure_done = 0
+        phase = 0
+        restored = None
+        if want_resume:
+            restored = manager.load_latest()
+            if restored is not None:
+                meta, state = restored
+                self._restore_state(state)
+                warmup_done = int(meta["warmup_done"])
+                measure_done = int(meta["measure_done"])
+                phase = int(meta["phase"])
+                # The phase length is part of the run's identity: the
+                # resumed half must hit the same boundaries as the
+                # uninterrupted run, or the results would diverge.
+                interval = int(meta["interval"])
+                self.resumed_from_phase = phase
+            elif explicit:
+                print(
+                    "no matching snapshot found; starting clean",
+                    file=sys.stderr,
+                )
+        if restored is None:
+            self._ensure_cursors()
+        guard = _snapshot.ResourceGuard()
+        t0 = time.perf_counter()
+
+        def checkpoint() -> Optional[str]:
+            return manager.save(self, {
+                "phase": phase,
+                "warmup_done": warmup_done,
+                "measure_done": measure_done,
+                "interval": interval,
+                "workload": self.spec.name,
+                "seed": self.seed,
+                "config_name": name,
+                "events_per_core": events_per_core,
+                "warmup_events": warmup_events,
+                "engine": self.engine,
+                "trace": self._trace is not None,
+            })
+
+        if warmup_events == 0 and measure_done == 0 and phase == 0:
+            # The plain path resets stats unconditionally before the
+            # measurement segment; mirror that for zero-warmup runs.
+            self.reset_stats()
+        while warmup_done < warmup_events:
+            step = warmup_events - warmup_done
+            if interval > 0:
+                step = min(step, interval)
+            self._run_events(step)
+            warmup_done += step
+            if warmup_done >= warmup_events:
+                # Reset *before* the boundary snapshot, so any snapshot
+                # with warmup_done == warmup_events is post-reset and the
+                # resume path never needs to re-reset.
+                self.reset_stats()
+            phase += 1
+            path = checkpoint()
+            breach = guard.breach()
+            if breach is not None:
+                return self._truncated_result(
+                    name, warmup_done, measure_done, breach, path
+                )
+        t1 = time.perf_counter()
+        while measure_done < events_per_core:
+            step = events_per_core - measure_done
+            if interval > 0:
+                step = min(step, interval)
+            self._run_events(step)
+            measure_done += step
+            phase += 1
+            if measure_done >= events_per_core:
+                break  # complete: collect below, then drop the snapshots
+            path = checkpoint()
+            breach = guard.breach()
+            if breach is not None:
+                return self._truncated_result(
+                    name, warmup_done, measure_done, breach, path
+                )
+        t2 = time.perf_counter()
+        result = self.collect(name, events_per_core)
+        manager.discard()
+        measured = events_per_core * self.config.n_cores
+        measure_wall = t2 - t1
+        _telemetry.emit(
+            "simulate",
+            workload=self.spec.name,
+            config=self.config.describe(),
+            seed=self.seed,
+            events=measured,
+            warmup_events=warmup_events * self.config.n_cores,
+            warmup_wall_s=t1 - t0,
+            measure_wall_s=measure_wall,
+            wall_s=t2 - t0,
+            events_per_sec=(measured / measure_wall) if measure_wall > 0 else 0.0,
+            audit_checks=self.auditor.checks_run if self.auditor is not None else 0,
+            trace_events=0,
+            metrics_samples=0,
+            attribution=self.hierarchy.attribution is not None,
+            phases=phase,
+            resumed_phase=self.resumed_from_phase,
+        )
+        if self.hierarchy.attribution is not None:
+            out = _attribution.attribution_path()
+            if out:
+                self.hierarchy.attribution.write(out)
+        return result
+
+    def _truncated_result(
+        self,
+        config_name: str,
+        warmup_done: int,
+        measure_done: int,
+        reason: str,
+        snapshot_path: Optional[str],
+    ) -> SimulationResult:
+        """A structured partial result for a resource-guard breach.
+
+        The counters cover whatever was measured so far; the
+        ``truncated`` extra marks the result as partial (run_point will
+        not cache it) and the exact resume command goes to stderr — the
+        deadline produced a resumable state, not a dead process.
+        """
+        result = self.collect(config_name, measure_done)
+        result.extra["truncated"] = 1.0
+        result.extra["truncated_warmup_done"] = float(warmup_done)
+        result.extra["truncated_measure_done"] = float(measure_done)
+        _telemetry.emit(
+            "guard",
+            reason=reason,
+            workload=self.spec.name,
+            config=config_name,
+            seed=self.seed,
+            warmup_done=warmup_done,
+            measure_done=measure_done,
+            snapshot=snapshot_path,
+        )
+        print(f"resource guard: {reason}", file=sys.stderr)
+        if snapshot_path:
+            print(
+                f"partial result returned; state saved to {snapshot_path}",
+                file=sys.stderr,
+            )
+            argv = sys.argv
+            if argv and (
+                os.path.basename(argv[0]).startswith("repro")
+                or argv[0].endswith(os.path.join("repro", "__main__.py"))
+            ):
+                cmd = "python -m repro " + " ".join(argv[1:])
+            else:
+                cmd = "<your original command>"
+            print(
+                f"resume with:\n  {_snapshot.ENV_RESUME}=1 {cmd}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "partial result returned; no snapshot could be written, "
+                "a re-run starts clean",
+                file=sys.stderr,
+            )
         return result
 
     def _run_events(self, events_per_core: int) -> None:

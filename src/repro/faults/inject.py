@@ -28,20 +28,27 @@ Clause grammar (whitespace-insensitive)::
 
 The registered fault kinds and their injection sites:
 
-=========== ==================================================== =========
-kind        site                                                 arg
-=========== ==================================================== =========
-``kill``      worker body (``runner._run_one``): ``os._exit``     exit code
-``hang``      worker body: ``time.sleep`` (pair with               seconds
-              ``REPRO_POINT_TIMEOUT``)                             (def 3600)
-``transient`` worker body: raises :class:`TransientFault`          —
-              (retryable; the runner retries it)
-``corrupt``   ``DiskCache.put``: mangles the entry on disk         —
-``slowio``    ``DiskCache.get``/``put``: sleeps before I/O         seconds
-=========== ==================================================== =========
+=============== ================================================= =========
+kind            site                                              arg
+=============== ================================================= =========
+``kill``        worker body (``runner._run_one``): ``os._exit``   exit code
+``hang``        worker body: ``time.sleep`` (pair with            seconds
+                ``REPRO_POINT_TIMEOUT``)                          (def 3600)
+``transient``   worker body: raises :class:`TransientFault`       —
+                (retryable; the runner retries it)
+``corrupt``     ``DiskCache.put``: mangles the entry on disk      —
+``slowio``      ``DiskCache.get``/``put``: sleeps before I/O      seconds
+``snapkill``    ``SnapshotManager.save``: ``os._exit`` right      exit code
+                after the selected phase snapshot is durable      (def 137)
+``snapcorrupt`` ``snapshot.write_snapshot``: mangles the payload  —
+                on disk (checksum catches it on restore)
+``diskfull``    ``snapshot.write_snapshot``: fails the store      —
+                with ``ENOSPC`` (the run must continue)
+=============== ================================================= =========
 
 Selection semantics: sites that know their point index (the worker-body
-sites) match selectors against that index and, by default, fire only on
+sites) match selectors against that index — ``snapkill`` matches against
+the snapshot's *phase* number instead — and, by default, fire only on
 the point's *first* attempt — so an injected transient fault is healed
 by one retry.  A clause's ``x<times>`` suffix widens that to the first
 ``times`` attempts (``transient@0x99`` keeps failing through retry
@@ -62,7 +69,10 @@ from typing import Dict, List, Optional, Tuple
 ENV_VAR = "REPRO_FAULTS"
 
 #: Every fault kind with an injection site wired into the codebase.
-KINDS = ("kill", "hang", "transient", "corrupt", "slowio")
+KINDS = (
+    "kill", "hang", "transient", "corrupt", "slowio",
+    "snapkill", "snapcorrupt", "diskfull",
+)
 
 
 class TransientFault(RuntimeError):

@@ -32,7 +32,16 @@ Kinds emitted by the simulator stack:
 * ``retry`` — one per retried point attempt (index, attempt, fault kind);
 * ``pool-restart`` — one per worker-pool respawn after a lost worker or
   a timed-out point;
-* ``point-timeout`` — one per point killed by ``REPRO_POINT_TIMEOUT``;
+* ``point-timeout`` — one per point killed by ``REPRO_POINT_TIMEOUT``
+  (``resumable`` marks points that get a retry because mid-run
+  snapshots are on);
+* ``snapshot`` — one per mid-run snapshot event
+  (:mod:`repro.core.snapshot`): ``action`` is ``store`` /
+  ``store-failed`` / ``restore`` / ``corrupt`` (a damaged snapshot was
+  quarantined) / ``discard`` (run completed, snapshots deleted);
+* ``guard`` — one per resource-guard breach (``REPRO_DEADLINE`` /
+  ``REPRO_MEM_LIMIT``): the reason, progress counters and the snapshot
+  left behind to resume from;
 * ``journal`` — one per checkpointed sweep: journal path, points loaded
   on resume, points recorded;
 * ``matrix-point`` — one per simulated interaction-matrix point
@@ -169,6 +178,8 @@ def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     sweep_timeouts = 0
     sweep_quarantines = 0
     journal_loaded = 0
+    snapshot_actions: Dict[str, int] = {}
+    guard_breaches = 0
     for record in records:
         kind = str(record.get("kind"))
         by_kind[kind] = by_kind.get(kind, 0) + 1
@@ -195,6 +206,11 @@ def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             sweep_quarantines += int(record.get("quarantines", 0))
         elif kind == "journal":
             journal_loaded += int(record.get("loaded", 0))
+        elif kind == "snapshot":
+            action = str(record.get("action", "?"))
+            snapshot_actions[action] = snapshot_actions.get(action, 0) + 1
+        elif kind == "guard":
+            guard_breaches += 1
     return {
         "records": sum(by_kind.values()),
         "by_kind": by_kind,
@@ -214,4 +230,6 @@ def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         "sweep_timeouts": sweep_timeouts,
         "sweep_quarantines": sweep_quarantines,
         "journal_loaded": journal_loaded,
+        "snapshot_actions": snapshot_actions,
+        "guard_breaches": guard_breaches,
     }

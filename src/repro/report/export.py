@@ -44,7 +44,7 @@ EXPORT_FIELDS = (
 
 def result_to_dict(result: SimulationResult) -> Dict[str, object]:
     l2_report = result.prefetcher_report("l2")
-    return {
+    row: Dict[str, object] = {
         "workload": result.workload,
         "config": result.config_name,
         "seed": result.seed,
@@ -63,6 +63,12 @@ def result_to_dict(result: SimulationResult) -> Dict[str, object]:
         "pf_l2_coverage": l2_report.coverage,
         "pf_l2_accuracy": l2_report.accuracy,
     }
+    # The extras dict rides along so markers like guard truncation
+    # (``truncated``) and skipped trace records stay visible to JSON
+    # consumers; the CSV form keeps the flat EXPORT_FIELDS shape.
+    if result.extra:
+        row["extra"] = dict(result.extra)
+    return row
 
 
 def results_to_json(results: Iterable[SimulationResult], indent: int = 2) -> str:
@@ -193,7 +199,9 @@ def result_fingerprint(result: SimulationResult) -> str:
 def results_to_csv(results: Iterable[SimulationResult]) -> str:
     rows: List[Dict[str, object]] = [result_to_dict(r) for r in results]
     out = io.StringIO()
-    writer = csv.DictWriter(out, fieldnames=list(EXPORT_FIELDS))
+    # The flat CSV schema stays EXPORT_FIELDS; the open-ended "extra"
+    # mapping is JSON-only.
+    writer = csv.DictWriter(out, fieldnames=list(EXPORT_FIELDS), extrasaction="ignore")
     writer.writeheader()
     for row in rows:
         writer.writerow(row)

@@ -358,6 +358,45 @@ class TraceGenerator:
         self._instr_into_line = instr_into_line
         self._chase_node = chase_node
 
+    def cursor_state(self) -> dict:
+        """The generator's complete resumable cursor as plain data.
+
+        Only meaningful for generators consumed through
+        :meth:`fill_chunk` (chunked mode persists the PC-walk state back
+        to the instance; ``events()`` keeps it in generator locals,
+        which no serialization can reach).  Together with the chunk
+        buffer tail held by the consuming cursor, this is everything a
+        snapshot needs to continue the stream bit-identically — the
+        generator never materializes more than one chunk of trace.
+        """
+        return {
+            "rng": self.rng.getstate(),
+            "pc_line": self._pc_line,
+            "instr_into_line": self._instr_into_line,
+            "chase_node": self._chase_node,
+            "streams": [(s.pos, s.stride, s.remaining) for s in self._streams],
+            "chunk_pending": list(self._chunk_pending),
+        }
+
+    def restore_cursor(self, state: dict) -> None:
+        """Inverse of :meth:`cursor_state`; the generator must have been
+        constructed with the same (spec, core_id, n_cores, footprints,
+        seed, heap) for the restored stream to continue correctly."""
+        self.rng.setstate(state["rng"])
+        self._pc_line = state["pc_line"]
+        self._instr_into_line = state["instr_into_line"]
+        self._chase_node = state["chase_node"]
+        if len(state["streams"]) != len(self._streams):
+            raise ValueError(
+                f"cursor has {len(state['streams'])} stream(s), "
+                f"generator has {len(self._streams)}"
+            )
+        for stream, (pos, stride, remaining) in zip(self._streams, state["streams"]):
+            stream.pos = pos
+            stream.stride = stride
+            stream.remaining = remaining
+        self._chunk_pending = [tuple(e) for e in state["chunk_pending"]]
+
     # -- internals ------------------------------------------------------------
 
     def _draw_gap(self) -> int:

@@ -184,6 +184,39 @@ class ValueModel:
         self.heap = heap
         self._heap_segments: Dict[int, int] = {}
 
+    def _build_segments_fn(self) -> Callable[[List[int]], int]:
+        """The on-demand line sizer for the active scheme.
+
+        Deterministic given ``scheme_name`` and the (already generated)
+        line pool, so a pickled model rebuilds an identical function —
+        the sizer itself is a local closure and cannot be pickled.
+        """
+        scheme = self.scheme_name
+        if scheme == "fpc":
+            return lambda words: segments_for_size(
+                min(fpc_size_bytes(words), LINE_BYTES)
+            )
+        if scheme == "bdi":
+            from repro.compression.bdi import compressed_size_bytes as bdi_size_bytes
+
+            return lambda words: segments_for_size(
+                min(bdi_size_bytes(words), LINE_BYTES)
+            )
+        from repro.compression.schemes import build_scheme
+
+        return build_scheme(scheme, sample_lines=self._lines).segments
+
+    def __getstate__(self) -> Dict:
+        # The segment sizer closes over scheme helpers; drop it and
+        # rebuild on restore (simulator snapshots pickle this model).
+        state = self.__dict__.copy()
+        state["_segments_fn"] = None
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._segments_fn = self._build_segments_fn()
+
     def _index(self, line_addr: int) -> int:
         # Knuth multiplicative hash keeps pool selection uncorrelated with
         # set indexing (which uses low address bits).
